@@ -1,0 +1,172 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Control-flow hiding on/off: hiding whole constructs is what produces
+   variable path counts and hidden flow; without it every predicate leaks
+   per-iteration (more interactions, weaker CC).
+2. Predicate hiding on/off: pred fragments leak one boolean (Arbitrary);
+   without them the raw hidden values leak (the ILP population gets easier).
+3. Variable selection: the paper's max-complexity strategy vs. picking the
+   first candidate.
+"""
+
+from repro.analysis.function import analyze_function
+from repro.bench.experiments import _corpus  # shared corpus cache
+from repro.core.pipeline import auto_split
+from repro.core.selection import select_variable, splittable_variables
+from repro.core.splitter import SplitOptions
+from repro.lang import check_program, parse_program
+from repro.bench.paperexamples import FIG2_SOURCE
+from repro.core.program import split_program
+from repro.runtime.channel import LatencyModel
+from repro.runtime.splitrun import run_split
+from repro.security.lattice import CType, TYPE_ORDER
+from repro.security.report import analyze_split_security
+
+
+def _fig2(options=None):
+    program = parse_program(FIG2_SOURCE)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")], options=options)
+    return program, checker, sp
+
+
+def test_ablation_control_flow_hiding(once):
+    def run():
+        _, checker_on, with_cf = _fig2(SplitOptions(hide_control_flow=True))
+        _, checker_off, without_cf = _fig2(SplitOptions(hide_control_flow=False))
+        report_on = analyze_split_security(with_cf, checker_on, "cf-on")
+        report_off = analyze_split_security(without_cf, checker_off, "cf-off")
+        on_run = run_split(with_cf, latency=LatencyModel.instant())
+        off_run = run_split(without_cf, latency=LatencyModel.instant())
+        return report_on, report_off, on_run, off_run
+
+    report_on, report_off, on_run, off_run = once(run)
+    print(
+        "\ncontrol-flow hiding ON : flow_hidden=%d interactions=%d"
+        % (report_on.flow_hidden_count(), on_run.interactions)
+    )
+    print(
+        "control-flow hiding OFF: flow_hidden=%d interactions=%d"
+        % (report_off.flow_hidden_count(), off_run.interactions)
+    )
+    # hiding control flow is what hides flow...
+    assert report_on.flow_hidden_count() > 0
+    assert report_off.flow_hidden_count() == 0
+    # ...and it also *reduces* communication: the hidden loop runs entirely
+    # on the secure side instead of leaking its predicate per iteration
+    assert on_run.interactions < off_run.interactions
+
+
+def test_ablation_predicate_hiding(once):
+    def run():
+        _, ck_on, preds_on = _fig2(SplitOptions(hide_predicates=True))
+        _, ck_off, preds_off = _fig2(SplitOptions(hide_predicates=False))
+        return (
+            analyze_split_security(preds_on, ck_on, "pred-on"),
+            analyze_split_security(preds_off, ck_off, "pred-off"),
+        )
+
+    report_on, report_off = once(run)
+    hist_on = report_on.type_histogram()
+    print("\npredicates ON : %r" % hist_on)
+    print("predicates OFF: %r" % report_off.type_histogram())
+    assert report_on.predicates_hidden_count() >= report_off.predicates_hidden_count()
+    assert hist_on[CType.ARBITRARY] > 0
+
+
+def _max_type(report):
+    ranks = [TYPE_ORDER.index(c.ac.type) for c in report.complexities]
+    return max(ranks) if ranks else -1
+
+
+def test_ablation_variable_selection(once):
+    """The paper selects the local variable creating the highest maximum
+    arithmetic complexity; first-candidate selection must never beat it."""
+
+    def run():
+        corpus = _corpus("jasmin", 0.06)
+        best = auto_split(corpus.program, corpus.checker)
+        first_choices = []
+        for name in corpus.candidate_names:
+            fn = corpus.program.function(name)
+            analysis = analyze_function(fn, corpus.checker)
+            names = splittable_variables(fn, analysis)
+            if names:
+                first_choices.append((name, names[0]))
+        naive = split_program(corpus.program, corpus.checker, first_choices)
+        return (
+            analyze_split_security(best, corpus.checker, "best"),
+            analyze_split_security(naive, corpus.checker, "naive"),
+        )
+
+    report_best, report_naive = once(run)
+    print("\nbest-variable : %r" % report_best.type_histogram())
+    print("first-variable: %r" % report_naive.type_histogram())
+    assert _max_type(report_best) >= _max_type(report_naive)
+
+
+def test_ablation_latency_models(once):
+    """Same split, three deployment targets: instant (co-located), LAN
+    (untrustworthy-server scenario), smart card (untrustworthy-user)."""
+
+    def run():
+        _, _, sp = _fig2()
+        return {
+            "instant": run_split(sp, latency=LatencyModel.instant()),
+            "lan": run_split(sp, latency=LatencyModel.lan()),
+            "card": run_split(sp, latency=LatencyModel.smart_card()),
+        }
+
+    results = once(run)
+    ms = {k: v.channel.simulated_ms for k, v in results.items()}
+    print("\nchannel cost: %r" % ms)
+    assert ms["instant"] == 0.0
+    assert ms["card"] > ms["lan"] > 0.0
+    # identical traffic either way
+    assert results["lan"].interactions == results["card"].interactions
+
+
+def test_ablation_fetch_caching(once):
+    """Communication optimisation (extension): reusing fetched hidden
+    values along straight-line open code cuts round trips without changing
+    behaviour — at the cost of the adversary seeing each value once less."""
+    source = """
+    func int g(int v) { return v + 1; }
+    func int chatty(int x, int[] B) {
+        int h = x * 3 + 1;
+        int r1 = g(h);
+        int r2 = g(h);
+        int r3 = g(h);
+        B[0] = r1 + r2 + r3;
+        return h;
+    }
+    func void main(int x) {
+        int[] B = new int[2];
+        print(chatty(x, B));
+        print(B[0]);
+    }
+    """
+
+    def run():
+        program = parse_program(source)
+        checker = check_program(program)
+        plain = split_program(program, checker, [("chatty", "h")])
+        cached = split_program(
+            program, checker, [("chatty", "h")],
+            options=SplitOptions(cache_fetches=True),
+        )
+        from repro.runtime.splitrun import check_equivalence
+
+        check_equivalence(program, cached, args=(4,))
+        return (
+            run_split(plain, args=(4,), latency=LatencyModel.instant()),
+            run_split(cached, args=(4,), latency=LatencyModel.instant()),
+        )
+
+    plain_run, cached_run = once(run)
+    print(
+        "\nfetch caching: %d -> %d interactions"
+        % (plain_run.interactions, cached_run.interactions)
+    )
+    assert cached_run.interactions < plain_run.interactions
+    assert cached_run.output == plain_run.output

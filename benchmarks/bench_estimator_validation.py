@@ -1,0 +1,43 @@
+"""Cross-validation of the static complexity estimator (extension).
+
+The Fig. 3 estimator claims a *lower bound* on each ILP's arithmetic
+complexity.  This benchmark plays the adversary against a whole corpus's
+split functions and checks the claim empirically: no ILP may be recovered
+by a technique *weaker* than its static class (path mixing may push the
+empirical class above the bound, never below).
+"""
+
+import random
+
+from repro.attack.classify import validate_estimator
+from repro.bench.experiments import _corpus, split_corpus
+from repro.bench.tables import Table
+from repro.security.lattice import CType
+
+
+def test_estimator_validated_against_recovery(once):
+    def run():
+        corpus = _corpus("jasmin", 0.06)
+        sp = split_corpus("jasmin", 0.06)
+        rng = random.Random(99)
+        runs = [(rng.randint(1, 40), rng.randint(5, 60)) for _ in range(40)]
+        return validate_estimator(sp, corpus.checker, runs)
+
+    report = once(run)
+    table = Table(
+        "Estimator vs. empirical recovery (jasmin-like corpus)",
+        ["Fragment", "Static AC", "Empirical", "Consistent"],
+    )
+    for fn_name, label, static_ac, empirical, ok in report:
+        table.add_row("%s#%d" % (fn_name, label), str(static_ac), repr(empirical), ok)
+    print("\n" + table.render())
+
+    assert report, "corpus runs must produce observable ILP traffic"
+    inconsistent = [row for row in report if not row[4]]
+    assert not inconsistent, "static estimate exceeded empirical class: %r" % (
+        inconsistent,
+    )
+    # sanity: both easy and hard ILPs appeared
+    empirical_types = {row[3].type for row in report}
+    assert CType.ARBITRARY in empirical_types or CType.POLYNOMIAL in empirical_types
+    assert CType.LINEAR in empirical_types or CType.CONSTANT in empirical_types

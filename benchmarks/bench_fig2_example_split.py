@@ -1,0 +1,30 @@
+"""Fig. 2: the paper's worked splitting example.
+
+Splitting ``f`` on variable ``a`` yields exactly four ILPs, and the return
+ILP measures the paper's headline characterisation:
+
+    AC = <Polynomial, 4, 2>      CC = <variable, hidden, hidden>
+"""
+
+from repro.bench.experiments import run_fig2_experiment
+from repro.security.lattice import CType
+
+
+def test_fig2_worked_example(once):
+    result = once(run_fig2_experiment)
+    print("\n" + result.render())
+    assert result.data["ilp_count"] == 4
+    by_kind = {c.ilp.kind: c for c in result.data["complexities"]}
+    ret = by_kind["return"]
+    assert (ret.ac.type, ret.ac.input_count(), ret.ac.degree) == (
+        CType.POLYNOMIAL,
+        4,
+        2,
+    )
+    assert ret.cc.paths_variable
+    assert ret.cc.predicates == "hidden"
+    assert ret.cc.flow == "hidden"
+    # the hidden branch predicate leaks only a boolean: Arbitrary
+    assert by_kind["pred"].ac.type == CType.ARBITRARY
+    # splitting preserved behaviour and cost a bounded number of round trips
+    assert result.data["interactions"] > 0

@@ -1,0 +1,22 @@
+"""Table 2: split characteristics — methods sliced, statements in the
+constructed slices, resulting ILP counts.
+
+Paper shape: a handful of methods per program (6-17), slices of tens to
+hundreds of statements, tens to hundreds of ILPs; jfig by far the largest,
+jasmin the smallest.
+"""
+
+from repro.bench.experiments import PAPER_TABLE2, run_table2
+
+
+def test_table2_split_characteristics(once):
+    result = once(run_table2, scale=1.0)
+    print("\n" + result.render())
+    for name, (sliced, stmts, ilps) in result.data.items():
+        assert sliced == PAPER_TABLE2[name][0]
+        assert stmts >= 2 * sliced  # slices are real, not single statements
+        assert ilps >= sliced  # every split method leaks somewhere
+    data = result.data
+    assert data["jfig"][1] == max(r[1] for r in data.values())
+    assert data["jfig"][2] == max(r[2] for r in data.values())
+    assert data["jasmin"][1] == min(r[1] for r in data.values())

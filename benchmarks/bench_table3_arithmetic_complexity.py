@@ -1,0 +1,43 @@
+"""Table 3: arithmetic complexity of ILPs.
+
+Paper shape: Linear and Arbitrary dominate everywhere; jfig (arithmetic
+heavy) contributes the Polynomial/Rational mass and the highest degree;
+bloat has the most Constant ILPs; javac's input count is "varying" because
+whole loops were hidden and a different array element streams to the hidden
+side each iteration.
+"""
+
+from repro.bench.experiments import run_table3
+from repro.security.lattice import CType, VARYING
+
+
+def test_table3_arithmetic_complexity(once):
+    result = once(run_table3, scale=1.0)
+    print("\n" + result.render())
+    data = result.data
+
+    # Linear + Arbitrary dominate overall (paper: most ILPs in these classes)
+    total = sum(sum(hist.values()) for hist, _i, _d in data.values())
+    lin_arb = sum(
+        hist[CType.LINEAR] + hist[CType.ARBITRARY] for hist, _i, _d in data.values()
+    )
+    assert lin_arb / total > 0.4
+
+    # every benchmark has Arbitrary ILPs (hidden predicates are everywhere)
+    for name, (hist, _inputs, _degree) in data.items():
+        assert hist[CType.ARBITRARY] > 0
+
+    # jfig: the only Rational population, the max degree
+    assert data["jfig"][0][CType.RATIONAL] > 0
+    for name in ("javac", "jess", "jasmin", "bloat"):
+        assert data[name][0][CType.RATIONAL] == 0
+    assert data["jfig"][2] == max(r[2] for r in data.values())
+    assert data["jfig"][2] >= 4
+
+    # javac: varying inputs
+    assert data["javac"][1] == VARYING
+
+    # bloat: the largest Constant population (configuration flags)
+    assert data["bloat"][0][CType.CONSTANT] == max(
+        r[0][CType.CONSTANT] for r in data.values()
+    )

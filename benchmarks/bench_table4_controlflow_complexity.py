@@ -1,0 +1,25 @@
+"""Table 4: control flow complexity of ILPs.
+
+Paper shape: "the control flow complexity is quite high as numerous ILPs
+depend upon hidden predicates and hidden control flow"; javac (and jfig)
+additionally show runtime-variable path counts from hidden loops.
+"""
+
+from repro.bench.experiments import run_table4
+
+
+def test_table4_controlflow_complexity(once):
+    result = once(run_table4, scale=1.0)
+    print("\n" + result.render())
+    data = result.data
+    for name, (paths_var, preds_hidden, flow_hidden) in data.items():
+        assert preds_hidden > 0, "%s: some predicates must be hidden" % name
+        assert preds_hidden >= flow_hidden
+    # hidden whole loops give javac variable path counts (paper: 3)
+    assert data["javac"][0] > 0
+    # a substantial fraction of all ILPs depend on hidden predicates
+    from repro.bench.experiments import run_table2
+
+    ilp_totals = {n: row[2] for n, row in run_table2(scale=1.0).data.items()}
+    hidden_fraction = sum(r[1] for r in data.values()) / sum(ilp_totals.values())
+    assert hidden_fraction > 0.25

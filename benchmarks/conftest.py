@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+corpus scale, prints the reproduction side by side with the paper's
+numbers, and asserts the qualitative shape the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark clock (the
+    interesting measurements are inside the experiment, not its wall time)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,93 @@
+"""Playing the adversary: trying to recover hidden components.
+
+Section 3 of the paper argues the difficulty of recovering a hidden
+component tracks the arithmetic and control-flow complexity of its ILPs.
+This example splits a function containing leaks of every complexity class,
+records the channel traffic over many runs, and attacks each leak with
+linear regression, polynomial interpolation and rational interpolation —
+then lines the outcomes up against the static complexity estimates.
+
+Run with::
+
+    python examples/attack_simulation.py
+"""
+
+import random
+
+from repro.attack.driver import attack_ilp, leaking_labels
+from repro.attack.trace import collect_traces
+from repro.core.program import split_program
+from repro.lang import check_program, parse_program
+from repro.runtime.splitrun import run_split
+from repro.security.report import analyze_split_security
+
+SOURCE = """
+func int mixed(int x, int y, int[] out) {
+    int lin = 5 * x + y;
+    int quad = lin * lin + x;
+    int scrambled = lin % 11;
+    out[0] = lin + 3;
+    out[1] = quad;
+    out[2] = scrambled;
+    return quad + 1;
+}
+
+func int run(int x, int y) {
+    int[] out = new int[4];
+    return mixed(x, y, out);
+}
+
+func void main() {
+    print(run(1, 2));
+}
+"""
+
+
+def main():
+    program = parse_program(SOURCE)
+    checker = check_program(program)
+    split = split_program(program, checker, [("mixed", "lin")])
+
+    report = analyze_split_security(split, checker, "mixed")
+    ac_by_label = {}
+    for c in report.complexities:
+        ac_by_label.setdefault(c.ilp.label, c.ac)
+
+    # gather traffic over many runs with random inputs
+    rng = random.Random(2003)
+    targets = leaking_labels(split)
+    merged = {}
+    for _ in range(80):
+        result = run_split(split, entry="run", args=(rng.randint(-9, 9), rng.randint(-9, 9)))
+        for key, trace in collect_traces(result.channel.transcript, targets).items():
+            if key not in merged:
+                merged[key] = trace
+            else:
+                for features, value in trace.rows:
+                    merged[key].add(features, value)
+
+    print("%-12s %-24s %-10s %-10s %s" % ("fragment", "static AC", "outcome", "via", "samples"))
+    print("-" * 70)
+    for (fn_name, label), trace in sorted(merged.items()):
+        outcome = attack_ilp(trace)
+        ac = ac_by_label.get(label)
+        win = outcome.winning
+        print(
+            "%-12s %-24s %-10s %-10s %s"
+            % (
+                "%s#%d" % (fn_name, label),
+                ac,
+                "BROKEN" if outcome.broken else "resisted",
+                win.technique if win else "-",
+                win.samples_used if win else len(trace),
+            )
+        )
+    print()
+    print("Linear leaks fall to regression with a handful of samples;")
+    print("polynomial ones need interpolation and more data; the mod-")
+    print("scrambled value (Arbitrary) resists everything — the paper's")
+    print("complexity classes predict attack cost.")
+
+
+if __name__ == "__main__":
+    main()

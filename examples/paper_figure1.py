@@ -1,0 +1,88 @@
+"""Fig. 1 of the paper: the static mapping and runtime state of a split
+module.
+
+The paper's Figure 1 is a conceptual diagram: program state/code (S, C)
+divides into the hidden component's (S' + s, C' + c) and the open
+component's (S - S' + s, C - C' + c), where (s, c) is the extra state and
+code implementing their interaction.  This example computes that exact
+decomposition for a concrete split and prints it.
+
+Run with::
+
+    python examples/paper_figure1.py
+"""
+
+from repro.bench.paperexamples import FIG2_SOURCE, FIG2_FUNCTION, FIG2_VARIABLE
+from repro.core.hidden import FragmentKind
+from repro.core.program import split_program
+from repro.lang import ast, check_program, parse_program
+from repro.runtime.splitrun import run_split
+
+
+def main():
+    program = parse_program(FIG2_SOURCE)
+    checker = check_program(program)
+    split = split_program(program, checker, [(FIG2_FUNCTION, FIG2_VARIABLE)])
+    sf = split.splits[FIG2_FUNCTION]
+    stats = split.stats()[FIG2_FUNCTION]
+
+    fn = program.function(FIG2_FUNCTION)
+    all_locals = sorted(checker.local_types[fn])
+    params = {p.name for p in fn.params}
+    locals_only = [n for n in all_locals if n not in params]
+
+    print("Figure 1(a): static mapping of the split module")
+    print("=" * 52)
+    print("S  (module state)     :", ", ".join(locals_only))
+    print("S' (hidden state)     :", ", ".join(sorted(sf.hidden_vars)))
+    print(
+        "S - S' (open state)   :",
+        ", ".join(n for n in locals_only if n not in sf.hidden_vars) or "(none)",
+    )
+    print(
+        "s  (interface state)  : __hid + %d fetch/send temporaries"
+        % sum(
+            1
+            for stmt in ast.walk_stmts(sf.open_fn.body)
+            if isinstance(stmt, ast.Assign)
+            and isinstance(stmt.target, ast.VarRef)
+            and stmt.target.name.startswith(("__f", "__t", "__r"))
+        )
+    )
+    print()
+    print("C  (module code)      : %d statements" % stats["original_stmts"])
+    print(
+        "C' (hidden code)      : %d statements in %d fragments"
+        % (stats["hidden_stmts"], stats["fragments"])
+    )
+    print("C - C' (open code)    : %d statements" % stats["open_stmts"])
+    interface_calls = sum(
+        1
+        for stmt in ast.walk_stmts(sf.open_fn.body)
+        for e in ast.stmt_exprs(stmt)
+        if isinstance(e, ast.Call) and e.name in ("hcall", "hopen", "hclose")
+    )
+    print("c  (interface code)   : %d calls into the hidden component" % interface_calls)
+    print()
+
+    print("Figure 1(b): runtime state of the split module")
+    print("=" * 52)
+    result = run_split(split)
+    opens = [e for e in result.channel.transcript.events if e.kind == "open"]
+    calls = [e for e in result.channel.transcript.events if e.kind == "call"]
+    print("activations created  :", len(opens))
+    print("fragment executions  :", len(calls))
+    by_kind = {}
+    for e in calls:
+        kind = sf.fragments[e.label].kind if e.label in sf.fragments else "?"
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    for kind in (FragmentKind.STMTS, FragmentKind.EXPR, FragmentKind.PRED,
+                 FragmentKind.SET, FragmentKind.GET):
+        if kind in by_kind:
+            print("  %-6s fragments    : %d executions" % (kind, by_kind[kind]))
+    print("values sent / recv'd :", result.channel.values_sent, "/",
+          result.channel.values_received)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — reproduction of *Hiding Program Slices for Software Security*
+(Zhang & Gupta, CGO 2003).
+
+Top-level convenience API::
+
+    import repro
+
+    program = repro.parse_program(source)
+    checker = repro.check_program(program)
+    split = repro.auto_split(program, checker)
+    repro.check_equivalence(program, split)
+    report = repro.analyze_split_security(split, checker)
+
+Subpackages: :mod:`repro.lang` (frontend), :mod:`repro.analysis` (static
+analysis), :mod:`repro.core` (the splitting transformation),
+:mod:`repro.security` (Section 3 analysis), :mod:`repro.runtime`
+(interpreter, channel, hidden server — simulated and TCP),
+:mod:`repro.attack` (adversary), :mod:`repro.workloads` (evaluation
+corpora), :mod:`repro.bench` (table/figure harness).
+"""
+
+__version__ = "1.0.0"
+
+from repro.lang import check_program, parse_program, pretty
+from repro.core import (
+    SplitError,
+    SplitOptions,
+    auto_split,
+    hide_global,
+    split_class,
+    split_function,
+    split_program,
+)
+from repro.runtime import check_equivalence, run_original, run_split
+from repro.security.report import analyze_split_security
+
+__all__ = [
+    "SplitError",
+    "SplitOptions",
+    "analyze_split_security",
+    "auto_split",
+    "check_equivalence",
+    "check_program",
+    "hide_global",
+    "parse_program",
+    "pretty",
+    "run_original",
+    "run_split",
+    "split_class",
+    "split_function",
+    "split_program",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Static analysis substrate.
+
+The paper's splitting transformation and security analysis are built on a
+classic intraprocedural analysis stack: control flow graphs, dominance,
+control dependence, reaching definitions, def-use chains, a data dependence
+graph, natural-loop detection with trip-count pattern matching, a call graph
+with recursion/loop-call detection, and forward data slicing.
+"""
+
+from repro.analysis.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.defuse import Def, Use, DefUseInfo, compute_defuse
+from repro.analysis.ddg import DDG, DataDep, build_ddg
+from repro.analysis.dominance import dominators, postdominators, immediate_dominators
+from repro.analysis.controldep import control_dependence
+from repro.analysis.loops import Loop, find_loops, match_counted_loop
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.slicing import Slice, forward_slice, backward_slice
+from repro.analysis.selfcontained import (
+    SelfContainedReport,
+    analyze_self_contained,
+    is_initializer,
+    is_self_contained,
+    statement_count,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "CallGraph",
+    "DDG",
+    "DataDep",
+    "Def",
+    "DefUseInfo",
+    "Loop",
+    "SelfContainedReport",
+    "Slice",
+    "Use",
+    "analyze_self_contained",
+    "backward_slice",
+    "build_callgraph",
+    "build_cfg",
+    "build_ddg",
+    "compute_defuse",
+    "control_dependence",
+    "dominators",
+    "find_loops",
+    "forward_slice",
+    "immediate_dominators",
+    "is_initializer",
+    "is_self_contained",
+    "match_counted_loop",
+    "postdominators",
+    "statement_count",
+]

@@ -1,0 +1,210 @@
+"""Statement-level control flow graphs.
+
+Each simple statement becomes one node; ``if``/``while``/``for`` contribute a
+condition node whose outgoing edges are labelled ``True``/``False``.  Nested
+statement lists are flattened into edges, so the CFG is the usual flat graph
+the dataflow solvers expect, while every node keeps a pointer back to its AST
+statement.
+"""
+
+from repro.lang import ast
+
+
+class CFGNode:
+    """One CFG node.
+
+    ``kind`` is ``"entry"``, ``"exit"``, ``"stmt"`` or ``"cond"``.  For
+    ``cond`` nodes ``stmt`` is the owning :class:`~repro.lang.ast.If`,
+    :class:`~repro.lang.ast.While` or :class:`~repro.lang.ast.For` and
+    ``cond_expr`` is the condition expression.
+    """
+
+    __slots__ = ("id", "kind", "stmt", "cond_expr", "succs", "preds")
+
+    def __init__(self, node_id, kind, stmt=None, cond_expr=None):
+        self.id = node_id
+        self.kind = kind
+        self.stmt = stmt
+        self.cond_expr = cond_expr
+        self.succs = []  # list of (CFGNode, label); label in (None, True, False)
+        self.preds = []  # list of CFGNode
+
+    def succ_nodes(self):
+        return [n for n, _ in self.succs]
+
+    def __repr__(self):
+        detail = ""
+        if self.stmt is not None:
+            detail = " %s" % type(self.stmt).__name__
+        return "<CFGNode %d %s%s>" % (self.id, self.kind, detail)
+
+
+class CFG:
+    """Control flow graph of one function."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.nodes = []
+        self.entry = self._new_node("entry")
+        self.exit = self._new_node("exit")
+        #: AST statement -> its primary CFG node ("cond" node for constructs).
+        self.node_of_stmt = {}
+
+    def _new_node(self, kind, stmt=None, cond_expr=None):
+        node = CFGNode(len(self.nodes), kind, stmt, cond_expr)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src, dst, label=None):
+        src.succs.append((dst, label))
+        dst.preds.append(src)
+
+    # -- queries -------------------------------------------------------------
+
+    def reverse_postorder(self):
+        """Nodes in reverse postorder from the entry (unreachable nodes last)."""
+        seen = set()
+        order = []
+
+        def visit(node):
+            stack = [(node, iter(node.succ_nodes()))]
+            seen.add(node.id)
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ.id not in seen:
+                        seen.add(succ.id)
+                        stack.append((succ, iter(succ.succ_nodes())))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        rpo = list(reversed(order))
+        for node in self.nodes:
+            if node.id not in seen:
+                rpo.append(node)
+        return rpo
+
+    def stmt_nodes(self):
+        return [n for n in self.nodes if n.kind in ("stmt", "cond")]
+
+
+class _LoopContext:
+    """Targets for break/continue while building the CFG."""
+
+    __slots__ = ("continue_target", "break_joins")
+
+    def __init__(self, continue_target):
+        self.continue_target = continue_target
+        self.break_joins = []
+
+
+def build_cfg(fn):
+    """Build the CFG of function ``fn``."""
+    cfg = CFG(fn)
+    builder = _Builder(cfg)
+    tails = builder.build_body(fn.body, [(cfg.entry, None)], loop_stack=[])
+    for node, label in tails:
+        cfg._edge(node, cfg.exit, label)
+    return cfg
+
+
+class _Builder:
+    """Threads "dangling edge" lists through the statement list."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+
+    def build_body(self, body, incoming, loop_stack):
+        """Wire ``body``; ``incoming`` is a list of (node, label) dangling
+        edges that should flow into the first statement.  Returns the list of
+        dangling edges leaving the body (empty if all paths diverted)."""
+        current = incoming
+        for stmt in body:
+            if not current:
+                break  # unreachable code after return/break/continue
+            current = self.build_stmt(stmt, current, loop_stack)
+        return current
+
+    def _connect(self, incoming, node):
+        for src, label in incoming:
+            self.cfg._edge(src, node, label)
+
+    def build_stmt(self, stmt, incoming, loop_stack):
+        cfg = self.cfg
+        if isinstance(stmt, (ast.VarDecl, ast.Assign, ast.CallStmt, ast.Print)):
+            node = cfg._new_node("stmt", stmt)
+            cfg.node_of_stmt[stmt] = node
+            self._connect(incoming, node)
+            return [(node, None)]
+        if isinstance(stmt, ast.Return):
+            node = cfg._new_node("stmt", stmt)
+            cfg.node_of_stmt[stmt] = node
+            self._connect(incoming, node)
+            cfg._edge(node, cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = cfg._new_node("stmt", stmt)
+            cfg.node_of_stmt[stmt] = node
+            self._connect(incoming, node)
+            loop_stack[-1].break_joins.append((node, None))
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = cfg._new_node("stmt", stmt)
+            cfg.node_of_stmt[stmt] = node
+            self._connect(incoming, node)
+            cfg._edge(node, loop_stack[-1].continue_target)
+            return []
+        if isinstance(stmt, ast.Block):
+            return self.build_body(stmt.body, incoming, loop_stack)
+        if isinstance(stmt, ast.If):
+            cond = cfg._new_node("cond", stmt, stmt.cond)
+            cfg.node_of_stmt[stmt] = cond
+            self._connect(incoming, cond)
+            then_out = self.build_body(stmt.then_body, [(cond, True)], loop_stack)
+            else_out = self.build_body(stmt.else_body, [(cond, False)], loop_stack)
+            if not stmt.else_body:
+                else_out = [(cond, False)]
+            return then_out + else_out
+        if isinstance(stmt, ast.While):
+            cond = cfg._new_node("cond", stmt, stmt.cond)
+            cfg.node_of_stmt[stmt] = cond
+            self._connect(incoming, cond)
+            ctx = _LoopContext(continue_target=cond)
+            loop_stack.append(ctx)
+            body_out = self.build_body(stmt.body, [(cond, True)], loop_stack)
+            loop_stack.pop()
+            self._connect(body_out, cond)
+            return [(cond, False)] + ctx.break_joins
+        if isinstance(stmt, ast.For):
+            current = incoming
+            if stmt.init is not None:
+                init_node = cfg._new_node("stmt", stmt.init)
+                cfg.node_of_stmt[stmt.init] = init_node
+                self._connect(current, init_node)
+                current = [(init_node, None)]
+            cond = cfg._new_node("cond", stmt, stmt.cond)
+            cfg.node_of_stmt[stmt] = cond
+            self._connect(current, cond)
+            if stmt.update is not None:
+                update_node = cfg._new_node("stmt", stmt.update)
+                cfg.node_of_stmt[stmt.update] = update_node
+                continue_target = update_node
+            else:
+                update_node = None
+                continue_target = cond
+            ctx = _LoopContext(continue_target=continue_target)
+            loop_stack.append(ctx)
+            body_out = self.build_body(stmt.body, [(cond, True)], loop_stack)
+            loop_stack.pop()
+            if update_node is not None:
+                self._connect(body_out, update_node)
+                cfg._edge(update_node, cond)
+            else:
+                self._connect(body_out, cond)
+            return [(cond, False)] + ctx.break_joins
+        raise TypeError("cannot build CFG for %r" % (stmt,))

@@ -1,0 +1,202 @@
+"""Constant folding and control simplification.
+
+A classic clean-up pass over the AST: literal subexpressions are evaluated
+at compile time (with the language's exact runtime semantics — Java-style
+truncating integer division, short-circuit booleans), statically decided
+branches are pruned, and a few always-safe algebraic identities are
+applied.  Produces a *new* tree; the input is never mutated.
+
+Soundness notes, pinned down by the property tests:
+
+* division/remainder by a literal zero is left unfolded — the runtime
+  error must still happen at the original point;
+* algebraic identities (``x + 0``, ``x * 1``, ...) apply only to *pure*
+  operands: a discarded subexpression must not contain calls (the only
+  effectful expressions in the language);
+* ``x * 0`` is **not** rewritten to ``0`` even for pure ``x`` — ``x`` may
+  fault (array index out of bounds), and faults are observable behaviour;
+* ``while (false)`` bodies disappear; ``if`` on a literal keeps only the
+  taken branch (hoisted as a Block to preserve scoping shape).
+"""
+
+from repro.lang import ast
+from repro.lang.clone import clone_expr, clone_stmt
+from repro.runtime.values import RuntimeErr, binary_op, unary_op
+
+
+def _literal_value(expr):
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+        return expr.value
+    return None
+
+
+def _is_literal(expr):
+    return isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit))
+
+
+def _make_literal(value):
+    if isinstance(value, bool):
+        return ast.BoolLit(value)
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    return ast.FloatLit(value)
+
+
+def is_pure(expr):
+    """No calls anywhere: evaluating the expression has no side effects
+    beyond possible runtime faults."""
+    for e in ast.walk_exprs(expr):
+        if isinstance(e, (ast.Call, ast.MethodCall, ast.NewArray, ast.NewObject)):
+            return False
+    return True
+
+
+def _cannot_fault(expr):
+    """Evaluation can neither fault nor have effects: literals and plain
+    variable reads combined by total operators."""
+    if _is_literal(expr) or isinstance(expr, ast.VarRef):
+        return True
+    if isinstance(expr, ast.UnaryOp):
+        return expr.op == "-" and _cannot_fault(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("/", "%"):
+            return False
+        return _cannot_fault(expr.left) and _cannot_fault(expr.right)
+    return False
+
+
+def fold_expr(expr):
+    """Fold one expression; returns a new tree."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.BinaryOp):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        lv, rv = _literal_value(left), _literal_value(right)
+        if lv is not None and rv is not None:
+            if expr.op in ("/", "%") and rv == 0:
+                return ast.BinaryOp(expr.op, left, right)
+            # && / || on literals are total; binary_op handles the rest
+            try:
+                return _make_literal(binary_op(expr.op, lv, rv))
+            except RuntimeErr:
+                return ast.BinaryOp(expr.op, left, right)
+        # short-circuit with a literal left side
+        if expr.op == "&&" and lv is not None:
+            return right if lv else ast.BoolLit(False)
+        if expr.op == "||" and lv is not None:
+            return ast.BoolLit(True) if lv else right
+        folded = _identities(expr.op, left, right)
+        if folded is not None:
+            return folded
+        return ast.BinaryOp(expr.op, left, right)
+    if isinstance(expr, ast.UnaryOp):
+        operand = fold_expr(expr.operand)
+        value = _literal_value(operand)
+        if value is not None:
+            try:
+                return _make_literal(unary_op(expr.op, value))
+            except RuntimeErr:
+                return ast.UnaryOp(expr.op, operand)
+        if isinstance(operand, ast.UnaryOp) and operand.op == expr.op:
+            return operand.operand  # --x, !!b
+        return ast.UnaryOp(expr.op, operand)
+    if isinstance(expr, ast.Call):
+        return ast.Call(expr.name, [fold_expr(a) for a in expr.args])
+    if isinstance(expr, ast.MethodCall):
+        return ast.MethodCall(
+            fold_expr(expr.receiver), expr.name, [fold_expr(a) for a in expr.args]
+        )
+    if isinstance(expr, ast.Index):
+        return ast.Index(fold_expr(expr.base), fold_expr(expr.index))
+    if isinstance(expr, ast.FieldAccess):
+        return ast.FieldAccess(fold_expr(expr.obj), expr.name)
+    if isinstance(expr, ast.NewArray):
+        return ast.NewArray(expr.elem_type, fold_expr(expr.size))
+    return clone_expr(expr)
+
+
+def _identities(op, left, right):
+    """Always-safe algebraic identities on folded operands."""
+    lv, rv = _literal_value(left), _literal_value(right)
+    # x + 0, x - 0, 0 + x  (int zero only: 0.0 + int would retype)
+    if op in ("+", "-") and rv == 0 and isinstance(right, ast.IntLit):
+        return left
+    if op == "+" and lv == 0 and isinstance(left, ast.IntLit):
+        return right
+    # x * 1, 1 * x, x / 1
+    if op in ("*", "/") and rv == 1 and isinstance(right, ast.IntLit):
+        return left
+    if op == "*" and lv == 1 and isinstance(left, ast.IntLit):
+        return right
+    return None
+
+
+def fold_stmt(stmt):
+    """Fold one statement; may return [] (pruned) or several statements."""
+    if isinstance(stmt, ast.VarDecl):
+        return [ast.VarDecl(stmt.var_type, stmt.name, fold_expr(stmt.init))]
+    if isinstance(stmt, ast.Assign):
+        return [ast.Assign(fold_expr(stmt.target), fold_expr(stmt.value))]
+    if isinstance(stmt, ast.If):
+        cond = fold_expr(stmt.cond)
+        value = _literal_value(cond)
+        if value is True:
+            return [ast.Block(fold_body(stmt.then_body))]
+        if value is False:
+            return [ast.Block(fold_body(stmt.else_body))] if stmt.else_body else []
+        return [ast.If(cond, fold_body(stmt.then_body), fold_body(stmt.else_body))]
+    if isinstance(stmt, ast.While):
+        cond = fold_expr(stmt.cond)
+        if _literal_value(cond) is False:
+            return []
+        return [ast.While(cond, fold_body(stmt.body))]
+    if isinstance(stmt, ast.For):
+        cond = fold_expr(stmt.cond) if stmt.cond is not None else None
+        init = fold_stmt(stmt.init)[0] if stmt.init is not None else None
+        if cond is not None and _literal_value(cond) is False:
+            # only the initialiser ever runs
+            return [init] if init is not None else []
+        update = fold_stmt(stmt.update)[0] if stmt.update is not None else None
+        return [ast.For(init, cond, update, fold_body(stmt.body))]
+    if isinstance(stmt, ast.Return):
+        return [ast.Return(fold_expr(stmt.value))]
+    if isinstance(stmt, ast.CallStmt):
+        return [ast.CallStmt(fold_expr(stmt.call))]
+    if isinstance(stmt, ast.Print):
+        return [ast.Print(fold_expr(stmt.value))]
+    if isinstance(stmt, ast.Block):
+        return [ast.Block(fold_body(stmt.body))]
+    return [clone_stmt(stmt)]
+
+
+def fold_body(body):
+    out = []
+    for stmt in body:
+        out.extend(fold_stmt(stmt))
+    return out
+
+
+def fold_function(fn):
+    return ast.Function(
+        fn.name,
+        [ast.Param(p.param_type, p.name) for p in fn.params],
+        fn.ret_type,
+        fold_body(fn.body),
+        owner=fn.owner,
+    )
+
+
+def fold_program(program):
+    """Fold every function and method; globals are untouched (their
+    initialisers are already literals)."""
+    functions = [fold_function(fn) for fn in program.functions]
+    classes = []
+    for cls in program.classes:
+        fields = [ast.FieldDecl(f.field_type, f.name) for f in cls.fields]
+        methods = [fold_function(m) for m in cls.methods]
+        classes.append(ast.ClassDecl(cls.name, fields, methods))
+    globals_ = [
+        ast.GlobalDecl(g.var_type, g.name, clone_expr(g.init)) for g in program.globals
+    ]
+    return ast.Program(globals_, classes, functions)

@@ -1,0 +1,40 @@
+"""Control dependence from postdominance.
+
+Node ``n`` is control dependent on branch node ``b`` when ``b`` has a
+successor ``s`` with ``n`` postdominating ``s`` (or ``n == s``) while ``n``
+does not postdominate ``b`` itself — the textbook Ferrante/Ottenstein/Warren
+condition, computed directly since our CFGs are small.
+"""
+
+from repro.analysis.dominance import postdominators
+
+
+def control_dependence(cfg, pdom=None):
+    """Return ``deps``: node -> set of cond nodes it is control dependent on.
+
+    Also usable in the reverse direction through :func:`controlled_nodes`.
+    """
+    if pdom is None:
+        pdom = postdominators(cfg)
+    deps = {node: set() for node in cfg.nodes}
+    for branch in cfg.nodes:
+        if len(branch.succs) < 2:
+            continue
+        for succ, _label in branch.succs:
+            for node in cfg.nodes:
+                postdominates_succ = node is succ or node.id in pdom[succ]
+                # strict postdominance: a loop header is control dependent
+                # on itself (it decides its own re-execution)
+                postdominates_branch = node is not branch and node.id in pdom[branch]
+                if postdominates_succ and not postdominates_branch:
+                    deps[node].add(branch)
+    return deps
+
+
+def controlled_nodes(deps):
+    """Invert :func:`control_dependence`: branch node -> dependent nodes."""
+    inverted = {}
+    for node, branches in deps.items():
+        for b in branches:
+            inverted.setdefault(b, set()).add(node)
+    return inverted

@@ -1,0 +1,119 @@
+"""Data dependence graph over def-use chains.
+
+Adds what the raw chains lack: loop-carried flags on edges (needed by the
+Fig. 3 ``RAISE`` rule, which only fires when a value escapes a loop it was
+iteratively computed in) and recurrence detection (definitions that depend
+on themselves around a loop, e.g. ``sum = sum + i``).
+"""
+
+from repro.analysis.loops import find_loops, innermost_loop_of
+
+
+class DataDep:
+    """A flow dependence edge: definition ``d`` reaches use ``u``."""
+
+    __slots__ = ("d", "u", "loop_carried", "carrying_loop")
+
+    def __init__(self, d, u, loop_carried, carrying_loop):
+        self.d = d
+        self.u = u
+        self.loop_carried = loop_carried
+        self.carrying_loop = carrying_loop
+
+    def __repr__(self):
+        flavor = " (loop-carried)" if self.loop_carried else ""
+        return "<DataDep %s -> %s%s>" % (self.d, self.u, flavor)
+
+
+class DDG:
+    """Data dependence graph of one function."""
+
+    def __init__(self, cfg, defuse, loops):
+        self.cfg = cfg
+        self.defuse = defuse
+        self.loops = loops
+        self.edges = []
+        self.out_edges = {}  # Def -> [DataDep]
+        self.in_edges = {}  # Use -> [DataDep]
+
+    def deps_of_use(self, use):
+        return self.in_edges.get(use, [])
+
+    def deps_from_def(self, d):
+        return self.out_edges.get(d, [])
+
+    def recurrent_defs(self, loop):
+        """Defs inside ``loop`` that feed themselves around its back edge —
+        the accumulators whose escape triggers RAISE."""
+        members = {
+            d for d in self.defuse.defs if not d.entry and loop.contains(d.node)
+        }
+        # A def d is recurrent when some loop-carried edge chain returns to a
+        # def of the same variable set; detect cycles restricted to the loop.
+        adjacency = {d: set() for d in members}
+        for d in members:
+            for dep in self.deps_from_def(d):
+                if not loop.contains(dep.u.node):
+                    continue
+                for d2 in self.defuse.defs_at[dep.u.node]:
+                    if d2 in members:
+                        adjacency[d].add(d2)
+        recurrent = set()
+        for start in members:
+            stack = list(adjacency[start])
+            seen = set()
+            while stack:
+                nxt = stack.pop()
+                if nxt is start:
+                    recurrent.add(start)
+                    break
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                stack.extend(adjacency[nxt])
+        return recurrent
+
+
+def build_ddg(cfg, defuse, loops=None):
+    """Build the DDG; ``loops`` defaults to :func:`find_loops` on ``cfg``."""
+    if loops is None:
+        loops = find_loops(cfg)
+    ddg = DDG(cfg, defuse, loops)
+    rpo_index = {node.id: i for i, node in enumerate(cfg.reverse_postorder())}
+    for d in defuse.defs:
+        for u in defuse.uses_of_def(d):
+            carried = False
+            carrying = None
+            if not d.entry:
+                d_idx = rpo_index.get(d.node.id, 0)
+                u_idx = rpo_index.get(u.node.id, 0)
+                if u_idx <= d_idx:
+                    # The use appears at or before the def in forward order:
+                    # the value must flow around a back edge.
+                    for loop in loops:
+                        if loop.contains(d.node) and loop.contains(u.node):
+                            if carrying is None or len(loop.body) < len(carrying.body):
+                                carrying = loop
+                    carried = carrying is not None
+            dep = DataDep(d, u, carried, carrying)
+            ddg.edges.append(dep)
+            ddg.out_edges.setdefault(d, []).append(dep)
+            ddg.in_edges.setdefault(u, []).append(dep)
+    return ddg
+
+
+def exits_loop(dep, loops):
+    """Loops that must be exited for the value to flow along ``dep``:
+    loops containing the def but not the use.  Returns outermost-first."""
+    if dep.d.entry:
+        return []
+    crossing = [
+        loop
+        for loop in loops
+        if loop.contains(dep.d.node) and not loop.contains(dep.u.node)
+    ]
+    return sorted(crossing, key=lambda l: -len(l.body))
+
+
+def innermost_loop(loops, node):
+    return innermost_loop_of(loops, node)

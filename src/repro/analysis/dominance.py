@@ -1,0 +1,70 @@
+"""Dominators and postdominators via iterative set dataflow.
+
+The CFGs here are function-sized (tens to a few hundred nodes), so the
+straightforward quadratic iterative algorithm is plenty fast and much easier
+to audit than Lengauer-Tarjan.
+"""
+
+
+def _solve(nodes, preds_of, roots):
+    """Generic dominance solver; returns node -> frozenset of dominators."""
+    all_ids = set(n.id for n in nodes)
+    dom = {}
+    for node in nodes:
+        if node in roots:
+            dom[node] = {node.id}
+        else:
+            dom[node] = set(all_ids)
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node in roots:
+                continue
+            preds = preds_of(node)
+            if preds:
+                new = set(all_ids)
+                for p in preds:
+                    new &= dom[p]
+            else:
+                # Unreachable in this direction: dominated by everything;
+                # keep the initial full set.
+                continue
+            new.add(node.id)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return {node: frozenset(s) for node, s in dom.items()}
+
+
+def dominators(cfg):
+    """node -> frozenset of ids of nodes dominating it (including itself)."""
+    return _solve(cfg.nodes, lambda n: n.preds, {cfg.entry})
+
+
+def postdominators(cfg):
+    """node -> frozenset of ids of nodes postdominating it (incl. itself)."""
+    return _solve(cfg.nodes, lambda n: n.succ_nodes(), {cfg.exit})
+
+
+def immediate_dominators(cfg, dom=None):
+    """node -> its immediate dominator node (entry maps to None)."""
+    if dom is None:
+        dom = dominators(cfg)
+    by_id = {n.id: n for n in cfg.nodes}
+    idom = {}
+    for node in cfg.nodes:
+        if node is cfg.entry:
+            idom[node] = None
+            continue
+        strict = dom[node] - {node.id}
+        best = None
+        for cand_id in strict:
+            cand = by_id[cand_id]
+            # The immediate dominator is the strict dominator dominated by
+            # every other strict dominator.
+            if strict <= dom[cand]:
+                best = cand
+                break
+        idom[node] = best
+    return idom

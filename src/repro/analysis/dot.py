@@ -1,0 +1,124 @@
+"""Graphviz (DOT) export for the analysis structures.
+
+Developer tooling: render a function's CFG, DDG, or a program's call graph
+for inspection (``python -m repro graph FILE --function f --kind cfg``).
+Output is plain DOT text; no graphviz dependency is required to produce it.
+"""
+
+from repro.lang import ast
+from repro.lang.pretty import pretty_expr, pretty_stmt
+
+
+def _esc(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_label(node):
+    if node.kind == "entry":
+        return "ENTRY"
+    if node.kind == "exit":
+        return "EXIT"
+    if node.kind == "cond":
+        cond = pretty_expr(node.cond_expr) if node.cond_expr is not None else "true"
+        return "if %s" % cond
+    return pretty_stmt(node.stmt).strip().split("\n")[0]
+
+
+def cfg_to_dot(cfg, name=None):
+    """Render a :class:`~repro.analysis.cfg.CFG` as DOT."""
+    title = name or cfg.fn.qualified_name
+    lines = ["digraph cfg {", '  label="CFG of %s";' % _esc(title), "  node [shape=box];"]
+    for node in cfg.nodes:
+        shape = "diamond" if node.kind == "cond" else "box"
+        if node.kind in ("entry", "exit"):
+            shape = "ellipse"
+        lines.append(
+            '  n%d [label="%s" shape=%s];' % (node.id, _esc(_node_label(node)), shape)
+        )
+    for node in cfg.nodes:
+        for succ, label in node.succs:
+            if label is None:
+                lines.append("  n%d -> n%d;" % (node.id, succ.id))
+            else:
+                lines.append(
+                    '  n%d -> n%d [label="%s"];' % (node.id, succ.id, label)
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ddg_to_dot(ddg, name=None):
+    """Render a data dependence graph as DOT (defs as nodes, flow deps as
+    edges; loop-carried edges dashed)."""
+    title = name or ddg.cfg.fn.qualified_name
+    lines = ["digraph ddg {", '  label="DDG of %s";' % _esc(title), "  node [shape=box];"]
+    seen = set()
+
+    def ensure(node):
+        if node.id not in seen:
+            seen.add(node.id)
+            lines.append('  n%d [label="%s"];' % (node.id, _esc(_node_label(node))))
+
+    for dep in ddg.edges:
+        if dep.d.entry:
+            continue
+        ensure(dep.d.node)
+        ensure(dep.u.node)
+        style = ' [style=dashed label="%s*"]' % dep.d.name if dep.loop_carried else (
+            ' [label="%s"]' % dep.d.name
+        )
+        lines.append("  n%d -> n%d%s;" % (dep.d.node.id, dep.u.node.id, style))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def callgraph_to_dot(cg):
+    """Render a call graph as DOT (recursive functions double-circled,
+    loop-called functions shaded)."""
+    recursive = cg.recursive_functions()
+    lines = ["digraph callgraph {", "  node [shape=box];"]
+    for name in sorted(cg.functions):
+        attrs = []
+        if name in recursive:
+            attrs.append("peripheries=2")
+        if name in cg.called_in_loop:
+            attrs.append('style=filled fillcolor="lightgrey"')
+        lines.append('  "%s" [%s];' % (_esc(name), " ".join(attrs)))
+    for caller in sorted(cg.callees):
+        for callee in sorted(cg.callees[caller]):
+            lines.append('  "%s" -> "%s";' % (_esc(caller), _esc(callee)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def split_to_dot(split):
+    """Render a split function: open statements vs. fragments, with the
+    call edges between them."""
+    lines = [
+        "digraph split {",
+        '  label="split of %s on %s";' % (_esc(split.name), _esc(split.slice.var)),
+        "  node [shape=box];",
+        "  subgraph cluster_open {",
+        '    label="open component";',
+    ]
+    for i, stmt in enumerate(split.open_fn.body):
+        text = pretty_stmt(stmt).strip().split("\n")[0]
+        lines.append('    o%d [label="%s"];' % (i, _esc(text)))
+    lines.append("  }")
+    lines.append("  subgraph cluster_hidden {")
+    lines.append('    label="hidden component";')
+    lines.append("    style=filled; color=lightgrey;")
+    for label in sorted(split.fragments):
+        frag = split.fragments[label]
+        lines.append(
+            '    h%d [label="fragment %d (%s)"];' % (label, label, frag.kind)
+        )
+    lines.append("  }")
+    for i, stmt in enumerate(split.open_fn.body):
+        for expr in ast.stmt_exprs(stmt):
+            if isinstance(expr, ast.Call) and expr.name == "hcall":
+                label_expr = expr.args[1]
+                if isinstance(label_expr, ast.IntLit):
+                    lines.append("  o%d -> h%d;" % (i, label_expr.value))
+    lines.append("}")
+    return "\n".join(lines)

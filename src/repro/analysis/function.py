@@ -1,0 +1,32 @@
+"""One-stop per-function analysis bundle."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.controldep import control_dependence
+from repro.analysis.ddg import build_ddg
+from repro.analysis.defuse import compute_defuse
+from repro.analysis.dominance import dominators, postdominators
+from repro.analysis.loops import find_loops
+
+
+class FunctionAnalysis:
+    """CFG, def-use, dominance, control dependence, loops and DDG for one
+    function, computed once and shared by the splitter and the security
+    estimator."""
+
+    def __init__(self, fn, local_types):
+        self.fn = fn
+        self.local_types = local_types
+        self.cfg = build_cfg(fn)
+        self.dom = dominators(self.cfg)
+        self.pdom = postdominators(self.cfg)
+        self.control_deps = control_dependence(self.cfg, self.pdom)
+        self.defuse = compute_defuse(self.cfg)
+        self.loops = find_loops(self.cfg, self.dom)
+        self.ddg = build_ddg(self.cfg, self.defuse, self.loops)
+
+
+def analyze_function(fn, checker):
+    """Build a :class:`FunctionAnalysis`; ``checker`` is the program's
+    populated :class:`~repro.lang.typecheck.TypeChecker`."""
+    local_types = checker.local_types.get(fn, {})
+    return FunctionAnalysis(fn, local_types)

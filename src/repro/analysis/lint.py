@@ -1,0 +1,158 @@
+"""Diagnostics over programs and splits.
+
+Two audiences:
+
+* plain program hygiene — dead stores, unused variables, unreachable code
+  (`lint_program`);
+* split quality — warnings a developer should see before deploying a
+  protection, e.g. raw hidden values leaking through ``get`` fetches, or a
+  split whose every leak is low-complexity (`diagnose_split`).
+"""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.liveness import compute_liveness, dead_stores
+from repro.lang import ast
+from repro.lang.pretty import pretty_stmt
+
+
+class Finding:
+    """One diagnostic."""
+
+    def __init__(self, kind, where, message):
+        self.kind = kind
+        self.where = where
+        self.message = message
+
+    def __repr__(self):
+        return "<Finding %s: %s>" % (self.kind, self.message)
+
+
+def _describe(stmt):
+    return pretty_stmt(stmt).strip().split("\n")[0]
+
+
+def lint_program(program):
+    """Hygiene findings for every function/method of ``program``."""
+    findings = []
+    for fn in program.all_functions():
+        cfg = build_cfg(fn)
+        liveness = compute_liveness(cfg)
+        for stmt in dead_stores(cfg, liveness):
+            findings.append(
+                Finding(
+                    "dead-store",
+                    fn.qualified_name,
+                    "%s: value of %r is never read" % (_describe(stmt), _target(stmt)),
+                )
+            )
+        findings.extend(_unused_variables(fn, cfg))
+        findings.extend(_unreachable(fn, cfg))
+    return findings
+
+
+def _target(stmt):
+    if isinstance(stmt, ast.VarDecl):
+        return stmt.name
+    return stmt.target.name
+
+
+def _unused_variables(fn, cfg):
+    declared = {}
+    used = set()
+    for stmt in ast.walk_stmts(fn.body):
+        if isinstance(stmt, ast.VarDecl):
+            declared[stmt.name] = stmt
+        for expr in ast.stmt_exprs(stmt):
+            if isinstance(expr, ast.VarRef):
+                used.add(expr.name)
+    out = []
+    for name, stmt in declared.items():
+        if name not in used:
+            out.append(
+                Finding(
+                    "unused-variable",
+                    fn.qualified_name,
+                    "variable %r is declared but never used" % name,
+                )
+            )
+    return out
+
+
+def _unreachable(fn, cfg):
+    out = []
+
+    def visit(body):
+        for stmt in body:
+            if isinstance(stmt, ast.Block):
+                visit(stmt.body)
+                continue
+            if stmt not in cfg.node_of_stmt:
+                # report the outermost unreachable statement only
+                out.append(
+                    Finding(
+                        "unreachable",
+                        fn.qualified_name,
+                        "%s: statement can never execute" % _describe(stmt),
+                    )
+                )
+                continue
+            for sub in ast.child_stmt_lists(stmt):
+                visit(sub)
+
+    visit(fn.body)
+    return out
+
+
+def diagnose_split(split, complexities=None):
+    """Protection-quality warnings for one split function.
+
+    ``complexities`` is the output of
+    :func:`repro.security.estimator.estimate_split_complexities` (optional;
+    some checks need it).
+    """
+    findings = []
+    raw_fetch_vars = sorted(
+        {ilp.leaked_var for ilp in split.ilps if ilp.leaked_var is not None}
+    )
+    if raw_fetch_vars:
+        findings.append(
+            Finding(
+                "raw-value-leak",
+                split.name,
+                "hidden variable(s) %s are fetched raw by the open component "
+                "(each fetch reveals the current value)" % ", ".join(raw_fetch_vars),
+            )
+        )
+    if not split.ilps:
+        findings.append(
+            Finding(
+                "no-leak-points",
+                split.name,
+                "the hidden component returns nothing the open side uses — "
+                "verify the hidden slice actually contributes to behaviour",
+            )
+        )
+    if complexities is not None:
+        from repro.security.lattice import CType
+
+        types = {c.ac.type for c in complexities}
+        if types and types <= {CType.CONSTANT, CType.LINEAR}:
+            findings.append(
+                Finding(
+                    "weak-protection",
+                    split.name,
+                    "every leak point is Constant or Linear: linear "
+                    "regression recovers this hidden component with a "
+                    "handful of samples — choose a different variable",
+                )
+            )
+    if not split.hidden_constructs and not split.pred_constructs:
+        findings.append(
+            Finding(
+                "no-control-flow-hidden",
+                split.name,
+                "no control flow was hidden: recovered samples will not "
+                "need path categorization",
+            )
+        )
+    return findings

@@ -1,0 +1,97 @@
+"""Live-variable analysis (backward may dataflow).
+
+A variable is *live* at a point when some path to the exit reads it before
+any redefinition.  Used by the lint pass (dead stores) and by the split
+diagnostics (a hidden value that is never live at any leak point protects
+nothing worth protecting).
+"""
+
+from repro.analysis.defuse import stmt_defs_uses
+from repro.lang import ast
+
+
+class Liveness:
+    """Per-node live-in/live-out variable-name sets."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.live_in = {}
+        self.live_out = {}
+        self._use = {}
+        self._def = {}
+        self._solve()
+
+    def _gen_kill(self, node):
+        if node.kind == "stmt":
+            defs, uses, _rhs = stmt_defs_uses(node.stmt)
+            # weak defs (array/field stores) read their base conceptually
+            # but never kill; only strong defs kill.
+            kill = {name for name, strong in defs if strong}
+            gen = set(uses)
+            # an array store also keeps the base alive
+            gen |= {name for name, strong in defs if not strong}
+            return gen, kill
+        if node.kind == "cond" and node.cond_expr is not None:
+            gen = {
+                e.name
+                for e in ast.walk_exprs(node.cond_expr)
+                if isinstance(e, ast.VarRef)
+            }
+            return gen, set()
+        return set(), set()
+
+    def _solve(self):
+        for node in self.cfg.nodes:
+            gen, kill = self._gen_kill(node)
+            self._use[node] = gen
+            self._def[node] = kill
+            self.live_in[node] = set()
+            self.live_out[node] = set()
+        order = list(reversed(self.cfg.reverse_postorder()))
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                out = set()
+                for succ in node.succ_nodes():
+                    out |= self.live_in[succ]
+                new_in = self._use[node] | (out - self._def[node])
+                if out != self.live_out[node] or new_in != self.live_in[node]:
+                    self.live_out[node] = out
+                    self.live_in[node] = new_in
+                    changed = True
+
+    def live_after(self, node):
+        return frozenset(self.live_out[node])
+
+    def live_before(self, node):
+        return frozenset(self.live_in[node])
+
+
+def compute_liveness(cfg):
+    """Run live-variable analysis over ``cfg``."""
+    return Liveness(cfg)
+
+
+def dead_stores(cfg, liveness=None):
+    """Strong scalar definitions whose value is never read afterwards.
+
+    Returns the offending statements.  Assignments to parameters-by-name
+    and declarations without initialisers are reported too; array/field
+    stores never are (they may alias outward).
+    """
+    liveness = liveness or compute_liveness(cfg)
+    out = []
+    for node in cfg.nodes:
+        if node.kind != "stmt":
+            continue
+        stmt = node.stmt
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None and stmt.name not in liveness.live_out[node]:
+                out.append(stmt)
+        elif isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.VarRef):
+            if stmt.target.binding in (None, "local") and (
+                stmt.target.name not in liveness.live_out[node]
+            ):
+                out.append(stmt)
+    return out

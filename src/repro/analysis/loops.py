@@ -1,0 +1,220 @@
+"""Natural loops and counted-loop pattern matching.
+
+The security estimator's ``RAISE``/``Iter(L)`` rule (Fig. 3 of the paper)
+needs, for each loop, an arithmetic characterisation of the trip count in
+terms of values live at loop entry.  :func:`match_counted_loop` recognises
+the classic induction pattern ``i relop bound`` with ``i = i +/- c`` and
+returns its pieces; loops that do not match are treated as having an
+*arbitrary* trip count by the estimator.
+"""
+
+from repro.lang import ast
+from repro.analysis.dominance import dominators
+
+
+class Loop:
+    """A natural loop: ``header`` cond node, member node set, and the AST
+    construct (``While``/``For``) when the header maps to one."""
+
+    def __init__(self, header, body_nodes):
+        self.header = header
+        self.body = body_nodes  # set of CFGNode ids, includes header
+        self.stmt = header.stmt if header.kind == "cond" else None
+        self.depth = 1
+        self.parent = None
+
+    def contains(self, node):
+        return node.id in self.body
+
+    def __repr__(self):
+        return "<Loop header=%d size=%d depth=%d>" % (
+            self.header.id,
+            len(self.body),
+            self.depth,
+        )
+
+
+def find_loops(cfg, dom=None):
+    """Find natural loops via back edges; returns loops outermost-first."""
+    if dom is None:
+        dom = dominators(cfg)
+    loops_by_header = {}
+    for node in cfg.nodes:
+        for succ, _label in node.succs:
+            if succ.id in dom[node]:  # back edge node -> succ (header)
+                body = _natural_loop_body(node, succ)
+                if succ in loops_by_header:
+                    loops_by_header[succ].body |= body
+                else:
+                    loops_by_header[succ] = Loop(succ, body)
+    loops = sorted(loops_by_header.values(), key=lambda l: -len(l.body))
+    # Nesting: a loop's parent is the smallest strictly-containing loop.
+    for inner in loops:
+        for outer in loops:
+            if outer is inner:
+                continue
+            if inner.body < outer.body:
+                if inner.parent is None or len(outer.body) < len(inner.parent.body):
+                    inner.parent = outer
+    for loop in loops:
+        depth = 1
+        p = loop.parent
+        while p is not None:
+            depth += 1
+            p = p.parent
+        loop.depth = depth
+    return loops
+
+
+def _natural_loop_body(tail, header):
+    """Nodes of the natural loop of back edge ``tail -> header``."""
+    body = {header.id, tail.id}
+    stack = [tail]
+    while stack:
+        node = stack.pop()
+        if node is header:
+            continue
+        for pred in node.preds:
+            if pred.id not in body:
+                body.add(pred.id)
+                stack.append(pred)
+    return body
+
+
+def innermost_loop_of(loops, node):
+    """The smallest loop containing ``node``, or ``None``."""
+    best = None
+    for loop in loops:
+        if loop.contains(node) and (best is None or len(loop.body) < len(best.body)):
+            best = loop
+    return best
+
+
+class CountedLoop:
+    """Recognised ``i relop bound`` / ``i = i +/- step`` loop.
+
+    ``bound_expr`` is the non-induction side of the comparison; the trip
+    count is roughly ``(bound - i_entry) / step`` — linear in the values of
+    ``bound_expr``'s variables and ``var`` at loop entry.
+    """
+
+    __slots__ = ("var", "step", "direction", "bound_expr", "relop", "stmt")
+
+    def __init__(self, var, step, direction, bound_expr, relop, stmt):
+        self.var = var
+        self.step = step
+        self.direction = direction  # "up" or "down"
+        self.bound_expr = bound_expr
+        self.relop = relop
+        self.stmt = stmt
+
+    def entry_value_vars(self):
+        """Variables whose entry values determine the trip count."""
+        names = {self.var}
+        for e in ast.walk_exprs(self.bound_expr):
+            if isinstance(e, ast.VarRef):
+                names.add(e.name)
+        return names
+
+
+def _match_induction_update(stmt, candidates):
+    """``i = i + c`` / ``i = i - c`` / ``i = c + i`` for ``i`` in candidates."""
+    if not isinstance(stmt, ast.Assign) or not isinstance(stmt.target, ast.VarRef):
+        return None
+    name = stmt.target.name
+    if candidates is not None and name not in candidates:
+        return None
+    value = stmt.value
+    if not isinstance(value, ast.BinaryOp) or value.op not in ("+", "-"):
+        return None
+    left, right = value.left, value.right
+    if isinstance(left, ast.VarRef) and left.name == name and isinstance(right, ast.IntLit):
+        step = right.value
+        return (name, step, "up" if value.op == "+" else "down")
+    if (
+        value.op == "+"
+        and isinstance(right, ast.VarRef)
+        and right.name == name
+        and isinstance(left, ast.IntLit)
+    ):
+        return (name, left.value, "up")
+    return None
+
+
+def _cond_candidates(cond):
+    """(var, bound_expr, relop, var_on_left) possibilities from a condition."""
+    if not isinstance(cond, ast.BinaryOp) or cond.op not in ("<", "<=", ">", ">="):
+        return []
+    out = []
+    if isinstance(cond.left, ast.VarRef):
+        out.append((cond.left.name, cond.right, cond.op, True))
+    if isinstance(cond.right, ast.VarRef):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[cond.op]
+        out.append((cond.right.name, cond.left, flipped, True))
+    return out
+
+
+def match_counted_loop(stmt):
+    """Recognise a counted While/For loop; returns :class:`CountedLoop` or
+    ``None``.
+
+    The induction variable must appear on one side of a relational condition
+    and be updated exactly once in the loop body (or the for-update slot) by
+    a constant step in the direction that terminates the loop.
+    """
+    if isinstance(stmt, ast.For):
+        cond = stmt.cond
+        updates = []
+        if stmt.update is not None:
+            m = _match_induction_update(stmt.update, None)
+            if m is not None:
+                updates.append(m)
+        body = stmt.body
+    elif isinstance(stmt, ast.While):
+        cond = stmt.cond
+        updates = []
+        body = stmt.body
+    else:
+        return None
+    if cond is None:
+        return None
+    candidates = _cond_candidates(cond)
+    if not candidates:
+        return None
+    cand_names = {c[0] for c in candidates}
+
+    body_updates = []
+    assigned = {}
+    for inner in ast.walk_stmts(body):
+        if isinstance(inner, ast.Assign) and isinstance(inner.target, ast.VarRef):
+            assigned[inner.target.name] = assigned.get(inner.target.name, 0) + 1
+            m = _match_induction_update(inner, cand_names)
+            if m is not None:
+                body_updates.append(m)
+        elif isinstance(inner, ast.VarDecl):
+            assigned[inner.name] = assigned.get(inner.name, 0) + 1
+
+    for var, bound_expr, relop, _ in candidates:
+        var_updates = [u for u in updates + body_updates if u[0] == var]
+        if len(var_updates) != 1 or assigned.get(var, 0) > 1:
+            continue
+        if isinstance(stmt, ast.For) and updates and updates[0][0] == var and assigned.get(var, 0) >= 1:
+            # induction update must be the for-update slot, not also in body
+            if any(u[0] == var for u in body_updates):
+                continue
+        _, step, direction = var_updates[0]
+        if step <= 0:
+            continue
+        terminates = (direction == "up" and relop in ("<", "<=")) or (
+            direction == "down" and relop in (">", ">=")
+        )
+        if not terminates:
+            continue
+        # The bound must not be modified inside the loop.
+        bound_vars = {
+            e.name for e in ast.walk_exprs(bound_expr) if isinstance(e, ast.VarRef)
+        }
+        if any(assigned.get(name, 0) > 0 for name in bound_vars):
+            continue
+        return CountedLoop(var, step, direction, bound_expr, relop, stmt)
+    return None

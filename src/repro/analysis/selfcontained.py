@@ -1,0 +1,134 @@
+"""Self-contained method analysis (Section 2.1, Table 1).
+
+A method is *self-contained* when executing it on a secure device would only
+require transferring scalar values: it calls no other functions or methods
+and never touches aggregates (arrays, objects).  Scalar fields and globals
+are allowed — the paper notes non-local data "can be passed to the hidden
+component in form of additional parameters".
+
+Table 1 successively filters: all methods -> self-contained -> more than 10
+statements (our proxy for the paper's "10 Java byte code statements") ->
+excluding initializers.
+"""
+
+from repro.lang import ast
+from repro.lang.typecheck import BUILTIN_SIGNATURES
+
+
+def statement_count(fn):
+    """Number of statements, counting loop/branch headers once each."""
+    count = 0
+    for stmt in ast.walk_stmts(fn.body):
+        if isinstance(stmt, ast.Block):
+            continue
+        count += 1
+    return count
+
+
+def is_self_contained(fn, program=None):
+    """True when ``fn`` neither calls other functions nor touches aggregates."""
+    for stmt in ast.walk_stmts(fn.body):
+        if isinstance(stmt, ast.Print):
+            return False  # I/O must happen on the open side
+        for expr in ast.stmt_exprs(stmt):
+            if isinstance(expr, ast.Call) and expr.name not in BUILTIN_SIGNATURES:
+                return False
+            if isinstance(expr, (ast.MethodCall, ast.NewArray, ast.NewObject)):
+                return False
+            if isinstance(expr, (ast.Index, ast.FieldAccess)):
+                return False
+            if isinstance(expr, ast.VarRef):
+                continue
+        if isinstance(stmt, ast.VarDecl) and not ast.is_scalar_type(stmt.var_type):
+            return False
+    for p in fn.params:
+        if not ast.is_scalar_type(p.param_type):
+            # An aggregate parameter is unused (no Index would have passed
+            # above) but its presence still means the caller interface is
+            # not scalar-only.
+            return False
+    return True
+
+
+def is_initializer(fn):
+    """True for constructor-style methods: every statement stores a constant
+    or a parameter into a variable or field (the paper excludes these since
+    "their behavior can be easily learned").  Name-based heuristics
+    (``init``/``reset``/``set*``) also apply, mirroring how one would treat
+    Java ``<init>`` methods."""
+    name = fn.name.lower()
+    if name in ("init", "initialize", "reset", "clear") or name.startswith("set"):
+        return True
+    if not fn.body:
+        return True
+    params = {p.name for p in fn.params}
+    for stmt in fn.body:
+        if isinstance(stmt, ast.Return):
+            continue
+        if isinstance(stmt, (ast.Assign, ast.VarDecl)):
+            value = stmt.value if isinstance(stmt, ast.Assign) else stmt.init
+            if value is None:
+                continue
+            if isinstance(value, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+                continue
+            if isinstance(value, ast.VarRef) and value.name in params:
+                continue
+            if isinstance(value, ast.UnaryOp) and isinstance(
+                value.operand, (ast.IntLit, ast.FloatLit)
+            ):
+                continue
+            return False
+        else:
+            return False
+    return True
+
+
+class SelfContainedReport:
+    """Counts for one program: the four rows of Table 1."""
+
+    def __init__(self, name, total, self_contained, large, non_initializer):
+        self.name = name
+        self.total = total
+        self.self_contained = self_contained
+        self.large = large
+        self.non_initializer = non_initializer
+
+    def rows(self):
+        return [
+            ("Number of Methods", self.total),
+            ("Self-contained Methods", len(self.self_contained)),
+            ("Self-contained > 10", len(self.large)),
+            ("Excluding Initializers", len(self.non_initializer)),
+        ]
+
+    def __repr__(self):
+        return "<SelfContainedReport %s: %d/%d/%d/%d>" % (
+            self.name,
+            self.total,
+            len(self.self_contained),
+            len(self.large),
+            len(self.non_initializer),
+        )
+
+
+def analyze_self_contained(program, name="program", min_statements=10,
+                           metric="statements"):
+    """Run the Table 1 analysis over every function and method.
+
+    ``metric`` selects the size proxy for the ">10 Java byte code
+    statements" filter: ``"statements"`` (source statements, the default)
+    or ``"bytecode"`` (estimated JVM instruction count via
+    :mod:`repro.analysis.bytecodesize`; pair it with a proportionally
+    larger ``min_statements`` threshold, e.g. 25-30).
+    """
+    if metric == "bytecode":
+        from repro.analysis.bytecodesize import bytecode_size as measure
+    else:
+        measure = statement_count
+    functions = program.all_functions()
+    self_contained = [fn for fn in functions if is_self_contained(fn, program)]
+    large = [fn for fn in self_contained if measure(fn) > min_statements]
+    non_initializer = [fn for fn in large if not is_initializer(fn)]
+    return SelfContainedReport(
+        name, len(functions), self_contained, large, non_initializer
+    )

@@ -1,0 +1,242 @@
+"""Forward data slicing (Section 2.2 of the paper).
+
+``Slice(f, v)`` starts from the statements that define ``v`` and follows
+data dependence (def-use) edges forward.  Statements whose left-hand side is
+a scalar local keep extending the slice (their definitions become *hidden*);
+statements that cannot live in the hidden component terminate it:
+
+* array-element and field stores (the paper's case (iii): only the
+  right-hand side is placed in ``Hf``),
+* statements whose right-hand side contains a function call (case (ii):
+  only the left-hand side is placed in ``Hf``),
+* ``return`` / ``print`` / call arguments (the value must surface in the
+  open component),
+* branch and loop conditions (recorded separately; the splitter decides
+  between hiding the construct and leaking the predicate).
+
+Each slice statement receives a :class:`SliceKind` the splitter consumes.
+"""
+
+from repro.lang import ast
+from repro.lang.typecheck import BUILTIN_SIGNATURES
+
+
+class SliceKind:
+    """Classification of a slice statement (paper's cases (i)-(iv))."""
+
+    FULL = "full"  # case (i): whole statement moves to Hf
+    LHS = "lhs"  # case (ii): lhs hidden, rhs (contains a call) stays open
+    RHS = "rhs"  # case (iii): rhs hidden, lhs (array/field/return) stays open
+    USE = "use"  # case (iv)-adjacent: statement stays open, hidden reads fetch
+
+
+class Slice:
+    """Result of :func:`forward_slice`."""
+
+    def __init__(self, fn, var):
+        self.fn = fn
+        self.var = var
+        #: AST statement -> SliceKind
+        self.statements = {}
+        #: constructs (If/While/For) whose condition reads a hidden variable
+        self.cond_statements = set()
+        #: names with at least one definition in the hidden component
+        self.hidden_vars = set()
+        #: Def objects whose stores are placed in Hf
+        self.hidden_defs = set()
+        #: names all of whose (non-entry) defs are hidden
+        self.all_defs_hidden = set()
+
+    def size(self):
+        """Number of statements in the slice (conditions included)."""
+        return len(self.statements) + len(self.cond_statements)
+
+    def kind_of(self, stmt):
+        return self.statements.get(stmt)
+
+    def __repr__(self):
+        return "<Slice %s/%s: %d stmts, %d hidden vars>" % (
+            self.fn.name,
+            self.var,
+            self.size(),
+            len(self.hidden_vars),
+        )
+
+
+def _contains_call(expr):
+    """True when ``expr`` contains a non-builtin call or an allocation."""
+    for e in ast.walk_exprs(expr):
+        if isinstance(e, ast.Call) and e.name not in BUILTIN_SIGNATURES:
+            return True
+        if isinstance(e, (ast.MethodCall, ast.NewArray, ast.NewObject)):
+            return True
+    return False
+
+
+def _scalar_local_target(stmt, local_types, hidden_storage=()):
+    """The name of a scalar variable with hidden storage defined by
+    ``stmt``, else ``None``.
+
+    Locals always qualify; fields and globals only when listed in
+    ``hidden_storage`` (the global-hiding / class-splitting modes, where
+    the selected non-local variable itself lives on the secure side).
+    """
+    if isinstance(stmt, ast.VarDecl):
+        if ast.is_scalar_type(stmt.var_type):
+            return stmt.name
+        return None
+    if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.VarRef):
+        name = stmt.target.name
+        binding = stmt.target.binding
+        if binding not in (None, "local"):
+            return name if name in hidden_storage else None
+        t = local_types.get(name)
+        if t is not None and ast.is_scalar_type(t):
+            return name
+        return None
+    return None
+
+
+def classify_statement(stmt, local_types, hidden_storage=()):
+    """SliceKind a statement would take if pulled into the slice."""
+    target = _scalar_local_target(stmt, local_types, hidden_storage)
+    if target is not None:
+        rhs = stmt.init if isinstance(stmt, ast.VarDecl) else stmt.value
+        if rhs is not None and _contains_call(rhs):
+            return SliceKind.LHS
+        return SliceKind.FULL
+    if isinstance(stmt, (ast.VarDecl, ast.Assign)):
+        rhs = stmt.init if isinstance(stmt, ast.VarDecl) else stmt.value
+        if rhs is not None and _contains_call(rhs):
+            return SliceKind.USE
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.target, (ast.Index, ast.FieldAccess)
+        ):
+            return SliceKind.RHS
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.VarRef):
+            # scalar field/global, or aggregate local alias
+            binding = stmt.target.binding
+            if binding in ("field", "global"):
+                return SliceKind.RHS
+            return SliceKind.USE
+        return SliceKind.USE
+    if isinstance(stmt, (ast.Return, ast.Print)):
+        rhs = stmt.value
+        if rhs is not None and _contains_call(rhs):
+            return SliceKind.USE
+        return SliceKind.RHS
+    if isinstance(stmt, ast.CallStmt):
+        return SliceKind.USE
+    return SliceKind.USE
+
+
+def forward_slice(fn, var, defuse, local_types, hidden_storage=()):
+    """Compute ``Slice(fn, var)``.
+
+    ``defuse`` is the function's :class:`~repro.analysis.defuse.DefUseInfo`;
+    ``local_types`` maps local/parameter names to types (from the type
+    checker); ``hidden_storage`` names non-local variables (globals, class
+    fields) whose storage lives on the hidden side.
+    """
+    sl = Slice(fn, var)
+    worklist = []
+    for d in defuse.defs:
+        if d.name == var:
+            sl.hidden_defs.add(d)
+            worklist.append(d)
+            if not d.entry and d.node.kind == "stmt":
+                kind = classify_statement(d.node.stmt, local_types, hidden_storage)
+                sl.statements[d.node.stmt] = kind
+    sl.hidden_vars.add(var)
+
+    while worklist:
+        d = worklist.pop()
+        for use in defuse.uses_of_def(d):
+            node = use.node
+            if node.kind == "cond":
+                sl.cond_statements.add(node.stmt)
+                continue
+            stmt = node.stmt
+            kind = classify_statement(stmt, local_types, hidden_storage)
+            previous = sl.statements.get(stmt)
+            if previous is not None:
+                continue
+            sl.statements[stmt] = kind
+            if kind in (SliceKind.FULL, SliceKind.LHS):
+                target = _scalar_local_target(stmt, local_types, hidden_storage)
+                sl.hidden_vars.add(target)
+                for d2 in defuse.defs_at[node]:
+                    if d2.name == target and d2 not in sl.hidden_defs:
+                        sl.hidden_defs.add(d2)
+                        worklist.append(d2)
+
+    for name in sl.hidden_vars:
+        defs = [
+            d
+            for d in defuse.defs
+            if d.name == name and not d.entry and not _is_bare_decl(d)
+        ]
+        if defs and all(d in sl.hidden_defs for d in defs):
+            sl.all_defs_hidden.add(name)
+    return sl
+
+
+def union_slices(slices):
+    """Union several slices of the same function (multi-variable hiding —
+    an extension beyond the paper, which initiates splitting from a single
+    local variable).
+
+    Statement kinds are intrinsic to the statement, so merging is a plain
+    union; a statement classified FULL in one slice is FULL in all.
+    """
+    if not slices:
+        raise ValueError("need at least one slice")
+    fn = slices[0].fn
+    merged = Slice(fn, "+".join(s.var for s in slices))
+    for s in slices:
+        if s.fn is not fn:
+            raise ValueError("slices must belong to the same function")
+        merged.statements.update(s.statements)
+        merged.cond_statements |= s.cond_statements
+        merged.hidden_vars |= s.hidden_vars
+        merged.hidden_defs |= s.hidden_defs
+        merged.all_defs_hidden |= s.all_defs_hidden
+    return merged
+
+
+def _is_bare_decl(d):
+    """A declaration without an initialiser only provides the default value;
+    it moves to the hidden side for free and does not make a variable
+    'partially hidden'."""
+    return (
+        d.node.kind == "stmt"
+        and isinstance(d.node.stmt, ast.VarDecl)
+        and d.node.stmt.init is None
+    )
+
+
+def backward_slice(fn, stmt, defuse, control_deps, cfg):
+    """Classic backward slice: statements that may affect ``stmt``.
+
+    Closure over use-def chains and control dependences.  Provided as an
+    extension beyond the paper's forward-slice construction; used by the
+    security analysis to find the hidden computation feeding an ILP.
+    """
+    node = cfg.node_of_stmt.get(stmt)
+    if node is None:
+        raise KeyError("statement has no CFG node")
+    in_slice = set()
+    worklist = [node]
+    while worklist:
+        n = worklist.pop()
+        if n in in_slice:
+            continue
+        in_slice.add(n)
+        for use in defuse.uses_at.get(n, []):
+            for d in defuse.reaching_defs(use):
+                if not d.entry and d.node not in in_slice:
+                    worklist.append(d.node)
+        for branch in control_deps.get(n, ()):  # control ancestors
+            if branch not in in_slice:
+                worklist.append(branch)
+    return {n.stmt for n in in_slice if n.stmt is not None}

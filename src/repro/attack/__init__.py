@@ -1,0 +1,30 @@
+"""Adversary simulation.
+
+Section 3 of the paper argues that breaking an ILP amounts to recovering
+the hidden function relating observable inputs to the leaked value, and
+names the applicable techniques per arithmetic complexity class: linear
+regression for Linear, polynomial interpolation for Polynomial, rational
+interpolation for Rational — with no automatic method for Arbitrary, and
+path explosion once control flow is hidden.
+
+This package makes that argument executable: it collects ILP observation
+traces from channel transcripts and attempts recovery with each technique,
+reporting success, the number of samples consumed, and residuals.
+"""
+
+from repro.attack.trace import ILPTrace, collect_traces
+from repro.attack.linear import fit_linear
+from repro.attack.polynomial import fit_polynomial
+from repro.attack.rational import fit_rational
+from repro.attack.driver import AttackOutcome, attack_ilp, attack_split_program
+
+__all__ = [
+    "AttackOutcome",
+    "ILPTrace",
+    "attack_ilp",
+    "attack_split_program",
+    "collect_traces",
+    "fit_linear",
+    "fit_polynomial",
+    "fit_rational",
+]

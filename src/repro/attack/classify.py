@@ -1,0 +1,121 @@
+"""Empirical complexity classification.
+
+The static estimator (Fig. 3) produces a conservative lower bound on each
+ILP's arithmetic complexity.  This module provides the dynamic
+counterpart: classify an ILP by which recovery technique actually fits its
+observations — the adversary's own view of the lattice.  Comparing the two
+validates the estimator (an ILP statically labelled Linear must fall to
+linear regression on single-path data; an Arbitrary one must resist).
+
+Classes mirror the static lattice: ``Constant``, ``Linear``,
+``Polynomial`` (with the recovered degree), ``Rational``, and
+``Arbitrary`` for traces that resist everything — with the caveat the
+paper makes in Section 3: samples that mix control-flow paths can push a
+per-path-simple function into the resistant bucket.
+"""
+
+from repro.attack.linear import DEFAULT_TOL, fit_linear
+from repro.attack.polynomial import fit_polynomial
+from repro.attack.rational import fit_rational
+from repro.security.lattice import CType
+
+
+class EmpiricalClass:
+    """Observed complexity class of one ILP trace."""
+
+    def __init__(self, ctype, degree=None, fit=None):
+        self.type = ctype
+        self.degree = degree
+        self.fit = fit
+
+    def __repr__(self):
+        if self.degree is not None:
+            return "<Empirical %s deg=%d>" % (self.type, self.degree)
+        return "<Empirical %s>" % self.type
+
+
+def _is_constant(trace, tol=DEFAULT_TOL):
+    values = [row[1] for row in trace.rows]
+    if not values:
+        return False
+    first = values[0]
+    scale = max(abs(first), 1.0)
+    return all(abs(v - first) / scale <= tol for v in values)
+
+
+def classify_trace(trace, max_poly_degree=4, max_rational_degree=2, tol=DEFAULT_TOL):
+    """Fit models of increasing power; the first that generalises names the
+    class.  Returns an :class:`EmpiricalClass`."""
+    if len(trace) >= 2 and _is_constant(trace, tol):
+        return EmpiricalClass(CType.CONSTANT, degree=0)
+    fit = fit_linear(trace, tol=tol)
+    if fit.success:
+        return EmpiricalClass(CType.LINEAR, degree=1, fit=fit)
+    for degree in range(2, max_poly_degree + 1):
+        fit = fit_polynomial(trace, degree=degree, tol=tol)
+        if fit.success:
+            return EmpiricalClass(CType.POLYNOMIAL, degree=degree, fit=fit)
+    for degree in range(1, max_rational_degree + 1):
+        fit = fit_rational(trace, degree=degree, tol=tol)
+        if fit.success:
+            return EmpiricalClass(CType.RATIONAL, degree=degree, fit=fit)
+    return EmpiricalClass(CType.ARBITRARY)
+
+
+_RANK = {
+    CType.CONSTANT: 0,
+    CType.LINEAR: 1,
+    CType.POLYNOMIAL: 2,
+    CType.RATIONAL: 3,
+    CType.ARBITRARY: 4,
+}
+
+
+def consistent_with_estimate(empirical, static_ac):
+    """The estimator claims a *lower bound*: the empirical class must not
+    fall below it (path mixing can push it above)."""
+    return _RANK[empirical.type] >= _RANK[static_ac.type]
+
+
+def validate_estimator(split_program, checker, runs, entry="main"):
+    """Cross-check every ILP's static estimate against its empirical class
+    over the given input tuples.  Returns a list of
+    ``(fn_name, label, static_ac, empirical, consistent)``."""
+    from repro.analysis.function import analyze_function
+    from repro.attack.driver import leaking_labels
+    from repro.attack.trace import collect_traces, merge_traces
+    from repro.runtime.splitrun import run_split
+    from repro.security.estimator import estimate_split_complexities
+
+    static = {}
+    for name, split in split_program.splits.items():
+        analysis = analyze_function(
+            split_program.original.function(name), checker
+        )
+        for c in estimate_split_complexities(split, analysis):
+            static.setdefault((name, c.ilp.label), c.ac)
+
+    targets = leaking_labels(split_program)
+    merged = {}
+    for args in runs:
+        result = run_split(split_program, entry=entry, args=args)
+        merge_traces(merged, collect_traces(result.channel.transcript, targets))
+
+    report = []
+    for key, trace in sorted(merged.items()):
+        if not len(trace):
+            continue
+        empirical = classify_trace(trace)
+        ac = static.get(key)
+        if (
+            ac is not None
+            and ac.type != CType.CONSTANT
+            and empirical.type == CType.CONSTANT
+        ):
+            # The observed values never varied over these inputs (e.g. a
+            # predicate that always took the same branch): no evidence
+            # either way — the lower bound is about the true function.
+            continue
+        ok = ac is None or consistent_with_estimate(empirical, ac)
+        report.append((key[0], key[1], ac, empirical, ok))
+    return report

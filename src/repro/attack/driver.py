@@ -1,0 +1,107 @@
+"""The full attack loop.
+
+Mirrors the adversary of Section 3 ("Practical Limitations of Automated
+Recovery"): they do not know the complexity of the hidden code, so every
+technique is tried in order of increasing power — linear regression, then
+polynomial interpolation of rising degree, then rational interpolation —
+until one generalises.  ILPs whose hidden computation is Arbitrary (or
+whose path structure partitions the samples) defeat all of them.
+"""
+
+from repro.attack.linear import fit_linear
+from repro.attack.polynomial import fit_polynomial
+from repro.attack.rational import fit_rational
+from repro.attack.trace import collect_traces, merge_traces
+from repro.runtime.splitrun import run_split
+
+
+class AttackOutcome:
+    """Result of attacking one leaking label."""
+
+    def __init__(self, fn_name, label, trace, attempts):
+        self.fn_name = fn_name
+        self.label = label
+        self.trace = trace
+        self.attempts = list(attempts)
+
+    @property
+    def broken(self):
+        return any(a.success for a in self.attempts)
+
+    @property
+    def winning(self):
+        for a in self.attempts:
+            if a.success:
+                return a
+        return None
+
+    @property
+    def samples_needed(self):
+        win = self.winning
+        return win.samples_used if win is not None else None
+
+    def __repr__(self):
+        if self.broken:
+            win = self.winning
+            return "<AttackOutcome %s#%s BROKEN by %s with %d samples>" % (
+                self.fn_name,
+                self.label,
+                win.technique,
+                win.samples_used,
+            )
+        return "<AttackOutcome %s#%s resisted %d techniques (%d samples)>" % (
+            self.fn_name,
+            self.label,
+            len(self.attempts),
+            len(self.trace),
+        )
+
+
+def attack_ilp(trace, max_poly_degree=3, max_rational_degree=2):
+    """Try every recovery technique on one trace."""
+    attempts = [fit_linear(trace)]
+    if not attempts[-1].success:
+        for degree in range(2, max_poly_degree + 1):
+            attempts.append(fit_polynomial(trace, degree=degree))
+            if attempts[-1].success:
+                break
+    if not any(a.success for a in attempts):
+        for degree in range(1, max_rational_degree + 1):
+            attempts.append(fit_rational(trace, degree=degree))
+            if attempts[-1].success:
+                break
+    return AttackOutcome(trace.fn_name, trace.label, trace, attempts)
+
+
+def leaking_labels(split_program):
+    """The ``(fn_name, label)`` targets worth attacking: fragments whose
+    return value feeds open computation (the ILPs)."""
+    targets = set()
+    for name, split in split_program.splits.items():
+        for ilp in split.ilps:
+            targets.add((name, ilp.label))
+    return sorted(targets)
+
+
+def attack_split_program(split_program, runs, entry="main",
+                         max_poly_degree=3, max_rational_degree=2):
+    """Run the split program on every argument tuple in ``runs``, pool the
+    transcripts, and attack every leaking label.
+
+    Returns ``{(fn_name, label): AttackOutcome}``.
+    """
+    targets = leaking_labels(split_program)
+    merged = {t: None for t in targets}
+    for args in runs:
+        result = run_split(split_program, entry=entry, args=args)
+        merge_traces(merged, collect_traces(result.channel.transcript, targets))
+    outcomes = {}
+    for key, trace in merged.items():
+        if trace is None or len(trace) == 0:
+            continue
+        outcomes[key] = attack_ilp(
+            trace,
+            max_poly_degree=max_poly_degree,
+            max_rational_degree=max_rational_degree,
+        )
+    return outcomes

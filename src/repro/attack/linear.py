@@ -1,0 +1,96 @@
+"""Linear recovery: least-squares fit of ``y = c0 + sum(ci * xi)``.
+
+The technique the paper names for ILPs of Linear arithmetic complexity
+(reference [12], Montgomery's *Introduction to Linear Regression
+Analysis*).  Success requires the fitted model to *generalise*: it is
+validated on held-out observations, not just fitted.
+"""
+
+import numpy as np
+
+#: relative tolerance for declaring a prediction correct
+DEFAULT_TOL = 1e-6
+
+
+class FitResult:
+    """Outcome of one model-fitting attempt."""
+
+    def __init__(self, technique, success, coeffs=None, residual=float("inf"),
+                 samples_used=0, detail=""):
+        self.technique = technique
+        self.success = success
+        self.coeffs = coeffs
+        self.residual = residual
+        self.samples_used = samples_used
+        self.detail = detail
+
+    def __repr__(self):
+        flag = "ok" if self.success else "FAIL"
+        return "<FitResult %s %s residual=%.3g samples=%d>" % (
+            self.technique,
+            flag,
+            self.residual,
+            self.samples_used,
+        )
+
+
+def _max_rel_error(predicted, actual):
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    scale = np.maximum(np.abs(actual), 1.0)
+    return float(np.max(np.abs(predicted - actual) / scale)) if len(actual) else 0.0
+
+
+def distinct_rows(design):
+    """Number of distinct observation points in a design matrix."""
+    return len({tuple(row) for row in np.asarray(design, dtype=float).tolist()})
+
+
+def fit_design_matrix(technique, design, y, build_row, n_features, tol=DEFAULT_TOL):
+    """Shared engine: find the smallest training prefix whose least-squares
+    fit predicts *all* remaining samples within ``tol``.
+
+    ``design`` is the full design matrix (rows built by ``build_row``).
+    Returns a :class:`FitResult`; ``samples_used`` is the training prefix
+    size that first generalised.
+
+    Identifiability: a model with more coefficients than *distinct*
+    observation points can reproduce anything it has seen without having
+    recovered the function (it will not extrapolate), so such fits are
+    refused rather than reported as recoveries.
+    """
+    design = np.asarray(design, dtype=float)
+    y = np.asarray(y, dtype=float)
+    total = len(y)
+    if total < 2:
+        return FitResult(technique, False, detail="not enough samples")
+    if distinct_rows(design) <= n_features:
+        return FitResult(
+            technique,
+            False,
+            detail="unidentifiable: %d distinct points for %d coefficients"
+            % (distinct_rows(design), n_features),
+        )
+    start = min(n_features + 1, total)
+    for k in range(start, total + 1):
+        coeffs, _res, _rank, _sv = np.linalg.lstsq(design[:k], y[:k], rcond=None)
+        predictions = design @ coeffs
+        err = _max_rel_error(predictions, y)
+        if err <= tol:
+            return FitResult(technique, True, coeffs, err, samples_used=k)
+    return FitResult(
+        technique,
+        False,
+        residual=err,
+        samples_used=total,
+        detail="no generalising fit",
+    )
+
+
+def fit_linear(trace, tol=DEFAULT_TOL):
+    """Attempt linear recovery of a trace; returns :class:`FitResult`."""
+    xs, ys = trace.matrix()
+    if not xs:
+        return FitResult("linear", False, detail="empty trace")
+    design = [[1.0] + [float(v) for v in row] for row in xs]
+    return fit_design_matrix("linear", design, ys, None, len(xs[0]) + 1, tol=tol)

@@ -1,0 +1,160 @@
+"""Path-aware recovery: exploiting leaked predicates.
+
+Section 3 argues that once control flow is involved, "these pairs must be
+divided into subgroups corresponding to different paths ... it is unclear
+how this path based categorization can be achieved."  This module
+implements the categorization the paper's own transformation makes
+possible: a ``pred`` fragment *leaks the branch direction as a boolean on
+the wire*, so an adversary can key every observation of a later ILP by the
+sequence of predicate outcomes seen on the same activation — the **path
+signature** — and attack each subgroup separately.
+
+The result (see ``benchmarks/bench_attack_recovery.py`` and
+``tests/test_pathsplit.py``) is a genuine strengthening of the paper's
+adversary: multi-path ILPs that resist the flat attack fall once their
+per-path closed forms are polynomial.  Fully hidden control flow (whole
+constructs moved to ``Hf``) remains immune — no predicate crosses the wire
+for those, which quantifies the value of the paper's control-flow hiding
+over predicate hiding alone.
+"""
+
+from repro.attack.driver import AttackOutcome, attack_ilp
+from repro.attack.trace import ILPTrace, _is_numeric_tuple, _numify
+from repro.core.hidden import FragmentKind
+
+
+def pred_labels(split_program):
+    """fn_name -> set of labels whose fragments are leaked predicates."""
+    out = {}
+    for name, split in split_program.splits.items():
+        labels = {
+            label
+            for label, frag in split.fragments.items()
+            if frag.kind == FragmentKind.PRED
+        }
+        if labels:
+            out[name] = labels
+    return out
+
+
+def collect_path_traces(transcript, targets, preds_by_fn):
+    """Like :func:`repro.attack.trace.collect_traces` but keyed by path
+    signature: ``{(fn, label): {signature: ILPTrace}}`` where the signature
+    is the tuple of (pred label, outcome) pairs observed on the activation
+    before the target call."""
+    wanted = set(targets)
+    traces = {t: {} for t in wanted}
+    state = {}  # hid -> (slots dict, path list)
+    for event in transcript.events:
+        if event.kind == "open":
+            if event.hid is None:
+                continue  # class-instance registration, not an activation
+            state[event.result] = ({}, [])
+        elif event.kind == "close":
+            state.pop(event.hid, None)
+        elif event.kind == "call":
+            slots, path = state.setdefault(event.hid, ({}, []))
+            key = (event.fn_name, event.label)
+            if key in wanted and _is_numeric_tuple(event.sent):
+                result = event.result
+                if isinstance(result, bool):
+                    result = int(result)
+                if isinstance(result, (int, float)):
+                    signature = tuple(path)
+                    bucket = traces[key].setdefault(
+                        signature, ILPTrace(event.fn_name, event.label)
+                    )
+                    features = dict(slots)
+                    for i, value in enumerate(event.sent):
+                        features["L%s[%d]" % (event.label, i)] = _numify(value)
+                    bucket.add(features, result)
+            for i, value in enumerate(event.sent):
+                if isinstance(value, (int, float)):
+                    slots["L%s[%d]" % (event.label, i)] = _numify(value)
+            if event.label in preds_by_fn.get(event.fn_name, ()):
+                path.append((event.label, bool(event.result)))
+    return traces
+
+
+class PathAwareOutcome:
+    """Result of a path-aware attack on one leaking label."""
+
+    def __init__(self, fn_name, label, per_path, min_samples):
+        self.fn_name = fn_name
+        self.label = label
+        self.per_path = per_path  # signature -> AttackOutcome
+        self.min_samples = min_samples
+
+    @property
+    def assessed(self):
+        return {
+            sig: o
+            for sig, o in self.per_path.items()
+            if len(o.trace) >= self.min_samples
+        }
+
+    @property
+    def broken(self):
+        """Every sufficiently observed path subgroup was recovered (and at
+        least one subgroup was)."""
+        assessed = self.assessed
+        return bool(assessed) and all(o.broken for o in assessed.values())
+
+    @property
+    def partially_broken(self):
+        """At least one path subgroup was recovered — the adversary now
+        owns the hidden computation along that path."""
+        return any(o.broken for o in self.assessed.values())
+
+    @property
+    def paths_observed(self):
+        return len(self.per_path)
+
+    def __repr__(self):
+        flag = "BROKEN" if self.broken else "resisted"
+        return "<PathAwareOutcome %s#%s %s across %d paths>" % (
+            self.fn_name,
+            self.label,
+            flag,
+            self.paths_observed,
+        )
+
+
+def attack_with_path_split(split_program, runs, entry="main", min_samples=8,
+                           max_poly_degree=3, max_rational_degree=2):
+    """Run the program, partition each ILP's observations by path
+    signature, and attack every subgroup.
+
+    Returns ``{(fn_name, label): PathAwareOutcome}``.
+    """
+    from repro.attack.driver import leaking_labels
+    from repro.runtime.splitrun import run_split
+
+    targets = leaking_labels(split_program)
+    preds = pred_labels(split_program)
+    merged = {t: {} for t in targets}
+    for args in runs:
+        result = run_split(split_program, entry=entry, args=args)
+        collected = collect_path_traces(result.channel.transcript, targets, preds)
+        for key, by_sig in collected.items():
+            for sig, trace in by_sig.items():
+                bucket = merged[key].setdefault(
+                    sig, ILPTrace(trace.fn_name, trace.label)
+                )
+                for features, value in trace.rows:
+                    bucket.add(features, value)
+
+    outcomes = {}
+    for key, by_sig in merged.items():
+        if not by_sig:
+            continue
+        per_path = {
+            sig: attack_ilp(
+                trace,
+                max_poly_degree=max_poly_degree,
+                max_rational_degree=max_rational_degree,
+            )
+            for sig, trace in by_sig.items()
+        }
+        outcomes[key] = PathAwareOutcome(key[0], key[1], per_path, min_samples)
+    return outcomes

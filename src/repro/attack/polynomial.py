@@ -1,0 +1,58 @@
+"""Polynomial recovery: multivariate interpolation up to a total degree.
+
+The technique the paper names for Polynomial ILPs (reference [17],
+Zippel's *Interpolating Polynomials From Their Values*).  We realise it as
+least squares over the monomial basis, with the same generalisation
+criterion as the linear attack; dense interpolation and LSQ coincide when
+enough samples are available.
+"""
+
+from itertools import combinations_with_replacement
+
+from repro.attack.linear import DEFAULT_TOL, FitResult, fit_design_matrix
+
+
+def monomials(n_vars, degree):
+    """All exponent tuples of total degree <= ``degree`` over ``n_vars``
+    variables, constant term first."""
+    out = []
+    for d in range(degree + 1):
+        for combo in combinations_with_replacement(range(n_vars), d):
+            exponents = [0] * n_vars
+            for idx in combo:
+                exponents[idx] += 1
+            out.append(tuple(exponents))
+    return out
+
+
+def _monomial_value(row, exponents):
+    value = 1.0
+    for x, e in zip(row, exponents):
+        if e:
+            value *= float(x) ** e
+    return value
+
+
+def design_matrix(xs, degree):
+    if not xs:
+        return [], []
+    basis = monomials(len(xs[0]), degree)
+    rows = [[_monomial_value(row, m) for m in basis] for row in xs]
+    return rows, basis
+
+
+def fit_polynomial(trace, degree=2, tol=DEFAULT_TOL, max_features=400):
+    """Attempt polynomial recovery at total degree ``degree``."""
+    xs, ys = trace.matrix()
+    if not xs:
+        return FitResult("poly%d" % degree, False, detail="empty trace")
+    rows, basis = design_matrix(xs, degree)
+    if len(basis) > max_features:
+        return FitResult(
+            "poly%d" % degree,
+            False,
+            detail="basis too large (%d monomials)" % len(basis),
+        )
+    return fit_design_matrix(
+        "poly%d" % degree, rows, ys, None, len(basis), tol=tol
+    )

@@ -1,0 +1,61 @@
+"""Rational recovery: fit ``y = P(x) / Q(x)`` with polynomial ``P``, ``Q``.
+
+The technique the paper names for Rational ILPs (reference [10], Grigoriev
+/ Karpinski / Singer, *Computational Complexity of Sparse Rational
+Interpolation*).  Linearised: ``P(x) - y*Q'(x) = y`` with ``Q = 1 + Q'``
+(denominator normalised to constant term 1), solved by least squares, then
+validated by evaluating the recovered rational on held-out samples.
+"""
+
+import numpy as np
+
+from repro.attack.linear import DEFAULT_TOL, FitResult, distinct_rows
+from repro.attack.polynomial import design_matrix, monomials
+
+
+def fit_rational(trace, degree=2, tol=DEFAULT_TOL, max_features=400):
+    """Attempt rational recovery with numerator/denominator degree
+    ``degree``."""
+    technique = "rational%d" % degree
+    xs, ys = trace.matrix()
+    if not xs:
+        return FitResult(technique, False, detail="empty trace")
+    num_rows, num_basis = design_matrix(xs, degree)
+    den_rows_full, den_basis_full = design_matrix(xs, degree)
+    # Drop the constant column of the denominator (normalised to 1).
+    den_rows = [row[1:] for row in den_rows_full]
+    den_basis = den_basis_full[1:]
+    n_features = len(num_basis) + len(den_basis)
+    if n_features > max_features:
+        return FitResult(technique, False, detail="basis too large")
+
+    y = np.asarray(ys, dtype=float)
+    num = np.asarray(num_rows, dtype=float)
+    den = np.asarray(den_rows, dtype=float) if den_basis else np.zeros((len(y), 0))
+    design = np.hstack([num, -(den * y[:, None])]) if den_basis else num
+    total = len(y)
+    if total < 2:
+        return FitResult(technique, False, detail="not enough samples")
+    if distinct_rows(num) <= n_features:
+        return FitResult(
+            technique,
+            False,
+            detail="unidentifiable: too few distinct observation points",
+        )
+
+    err = float("inf")
+    start = min(n_features + 1, total)
+    for k in range(start, total + 1):
+        coeffs, _res, _rank, _sv = np.linalg.lstsq(design[:k], y[:k], rcond=None)
+        p = num @ coeffs[: len(num_basis)]
+        q = 1.0 + (den @ coeffs[len(num_basis):] if den_basis else 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            predictions = np.where(np.abs(q) > 1e-12, p / q, np.inf)
+        scale = np.maximum(np.abs(y), 1.0)
+        err = float(np.max(np.abs(predictions - y) / scale)) if total else 0.0
+        if np.isfinite(err) and err <= tol:
+            return FitResult(technique, True, coeffs, err, samples_used=k)
+    if not np.isfinite(err):
+        err = float("inf")
+    return FitResult(technique, False, residual=err, samples_used=total,
+                     detail="no generalising fit")

@@ -1,0 +1,110 @@
+"""Building ILP observation traces from channel transcripts.
+
+The adversary sees every message: values sent by the open component
+(fragment calls), values returned by the hidden component, and callback
+traffic.  Following the paper's threat model, they do not know how many
+variables the hidden component maintains, so for every leaking call they
+must relate the returned value to *all* values previously sent on the same
+activation ("the adversary must assume that it is dependent upon all the
+variables whose values are sent to the hidden component").
+
+A feature slot is one position of one fragment's value array
+(``"L<label>[<index>]"``).  For each observation of a target label we
+snapshot the most recent value of every slot seen on that activation.
+"""
+
+
+class ILPTrace:
+    """Observations of one leaking fragment label in one split function."""
+
+    def __init__(self, fn_name, label):
+        self.fn_name = fn_name
+        self.label = label
+        self.feature_names = []
+        self._feature_index = {}
+        self.rows = []  # list of (dict feature -> value, result)
+
+    def add(self, features, result):
+        for name in features:
+            if name not in self._feature_index:
+                self._feature_index[name] = len(self.feature_names)
+                self.feature_names.append(name)
+        self.rows.append((dict(features), result))
+
+    def matrix(self):
+        """(X, y) with one column per feature (missing values are 0, the
+        value a fresh activation would hold)."""
+        xs = []
+        ys = []
+        for features, result in self.rows:
+            xs.append([features.get(name, 0) for name in self.feature_names])
+            ys.append(result)
+        return xs, ys
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return "<ILPTrace %s#%s: %d samples, %d features>" % (
+            self.fn_name,
+            self.label,
+            len(self.rows),
+            len(self.feature_names),
+        )
+
+
+def collect_traces(transcript, targets):
+    """Extract an :class:`ILPTrace` per target.
+
+    ``targets``: iterable of ``(fn_name, label)`` to observe (the leaking
+    labels, i.e. labels of ILP fragments).  Returns a dict keyed by that
+    pair.
+    """
+    wanted = set(targets)
+    traces = {t: ILPTrace(t[0], t[1]) for t in wanted}
+    # per-activation latest value of every send slot
+    state = {}
+    for event in transcript.events:
+        if event.kind == "open":
+            if event.hid is None:
+                continue  # class-instance registration, not an activation
+            state[event.result] = {}
+        elif event.kind == "close":
+            state.pop(event.hid, None)
+        elif event.kind == "call":
+            slots = state.setdefault(event.hid, {})
+            key = (event.fn_name, event.label)
+            if key in wanted and _is_numeric_tuple(event.sent):
+                result = event.result
+                if isinstance(result, bool):
+                    result = int(result)
+                if isinstance(result, (int, float)):
+                    features = dict(slots)
+                    for i, value in enumerate(event.sent):
+                        features["L%s[%d]" % (event.label, i)] = _numify(value)
+                    traces[key].add(features, result)
+            for i, value in enumerate(event.sent):
+                if isinstance(value, (int, float)):
+                    slots["L%s[%d]" % (event.label, i)] = _numify(value)
+    return traces
+
+
+def _numify(value):
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def _is_numeric_tuple(values):
+    return all(isinstance(v, (int, float)) for v in values)
+
+
+def merge_traces(merged, collected):
+    """Accumulate per-run trace dicts into ``merged`` (key -> ILPTrace)."""
+    for key, trace in collected.items():
+        if key not in merged or merged[key] is None:
+            merged[key] = trace
+        else:
+            for features, value in trace.rows:
+                merged[key].add(features, value)
+    return merged

@@ -1,0 +1,30 @@
+"""Experiment harness: one entry point per table/figure of the paper, plus
+text-table rendering that mirrors the paper's layouts.  The ``benchmarks/``
+directory wraps these in pytest-benchmark targets."""
+
+from repro.bench.tables import Table, format_table
+from repro.bench.experiments import (
+    run_attack_experiment,
+    run_fig2_experiment,
+    run_fig3_experiment,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    split_corpus,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "run_attack_experiment",
+    "run_fig2_experiment",
+    "run_fig3_experiment",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "split_corpus",
+]

@@ -1,0 +1,91 @@
+"""Canonical reconstructions of the paper's worked examples.
+
+Fig. 2's transformed code is only shown graphically in the paper, but its
+ILP complexity characterisation pins the code down: ILP (4) is
+
+    f_ILP = sum + sum_{i=3x+y}^{z-1} i        AC = <Polynomial, 4, 2>
+                                              CC = <variable, hidden, hidden>
+
+i.e. ``a = 3x + y`` seeds a hidden counted loop ``i = a; while (i < z)``
+accumulating into ``sum``, whose initial value arrives from the open side.
+``FIG2_SOURCE`` reproduces exactly that: splitting ``f`` on ``a`` yields
+four ILPs — the array-store leak, the hidden branch predicate, the
+then-branch store, and the return — with the return ILP measuring
+``<Polynomial, 4, 2>`` / ``<variable, hidden, hidden>``.
+
+``FIG3_SOURCE`` is the paper's "slightly modified version": ``B[0] = a``
+*definitely leaks* the hidden definition ``a = 3x + y`` (the estimator's
+``LeakedDefn`` rule), so that ILP reports the complexity of the defining
+expression (Linear in x, y) and downstream values may treat ``a`` as
+observable.
+"""
+
+FIG2_SOURCE = """
+func int f(int x, int y, int z, int[] B) {
+    int a;
+    int i;
+    int sum;
+    sum = B[0];
+    a = 3 * x + y;
+    B[1] = a + 1;
+    i = a;
+    while (i < z) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    if (sum > 100) {
+        sum = sum - 100;
+        B[2] = sum / 2;
+    } else {
+        B[2] = 0;
+    }
+    return sum;
+}
+
+func int run(int x, int y, int z, int s0) {
+    int[] B = new int[8];
+    B[0] = s0;
+    int r = f(x, y, z, B);
+    print(B[1]);
+    print(B[2]);
+    return r;
+}
+
+func void main() {
+    print(run(2, 3, 20, 7));
+    print(run(1, 1, 9, 3));
+    print(run(4, 0, 40, 120));
+}
+"""
+
+FIG2_FUNCTION = "f"
+FIG2_VARIABLE = "a"
+
+FIG3_SOURCE = """
+func int g(int x, int y, int z, int[] B) {
+    int a;
+    int i;
+    int sum;
+    sum = B[3];
+    a = 3 * x + y;
+    B[0] = a;
+    i = a;
+    while (i < z) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    B[1] = sum;
+    return sum;
+}
+
+func void main() {
+    int[] B = new int[8];
+    B[3] = 5;
+    print(g(2, 3, 25, B));
+    print(B[0]);
+    print(B[1]);
+}
+"""
+
+FIG3_FUNCTION = "g"
+FIG3_VARIABLE = "a"

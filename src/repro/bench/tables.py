@@ -1,0 +1,39 @@
+"""Plain-text table rendering in the paper's layouts."""
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, title, headers):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = []
+
+    def add_row(self, *cells):
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                "expected %d cells, got %d" % (len(self.headers), len(cells))
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self):
+        return format_table(self.title, self.headers, self.rows)
+
+    def __str__(self):
+        return self.render()
+
+
+def format_table(title, headers, rows):
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, "=" * len(title), line(headers), sep]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,387 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run PROG.mj [--entry main] [--args 1 2 3]
+    python -m repro split PROG.mj [--function f --var a] [--show-fragments]
+    python -m repro run-split PROG.mj [--args ...] [--latency lan|card|instant]
+    python -m repro analyze PROG.mj                 # Section 3 security report
+    python -m repro table1 PROG.mj                  # self-contained analysis
+    python -m repro attack PROG.mj --runs 40        # recovery attempts
+
+``PROG.mj`` is a MiniJava source file (see README for the language).  When
+``--function/--var`` are omitted, ``split`` uses the paper's automatic
+selection (call-graph cut + max-complexity variable).
+"""
+
+import argparse
+import sys
+
+from repro.analysis.selfcontained import analyze_self_contained
+from repro.bench.tables import Table
+from repro.core.pipeline import auto_split
+from repro.core.program import split_program
+from repro.lang import check_program, parse_program
+from repro.core.splitter import SplitError
+from repro.lang.errors import LangError
+from repro.runtime.values import RuntimeErr
+from repro.lang.pretty import pretty_function
+from repro.runtime.channel import LatencyModel
+from repro.runtime.splitrun import check_equivalence, run_original, run_split
+from repro.security.report import analyze_split_security
+
+_LATENCIES = {
+    "lan": LatencyModel.lan,
+    "card": LatencyModel.smart_card,
+    "instant": LatencyModel.instant,
+}
+
+
+def _load(path):
+    with open(path) as f:
+        source = f.read()
+    program = parse_program(source)
+    checker = check_program(program)
+    return program, checker
+
+
+def _parse_args_list(values):
+    out = []
+    for v in values:
+        try:
+            out.append(int(v))
+        except ValueError:
+            out.append(float(v))
+    return tuple(out)
+
+
+def _split_for(program, checker, args):
+    if args.function and args.var:
+        return split_program(program, checker, [(args.function, args.var)])
+    return auto_split(program, checker, entry=args.entry)
+
+
+def cmd_run(args, out):
+    program, _ = _load(args.file)
+    result = run_original(program, entry=args.entry, args=_parse_args_list(args.args))
+    for line in result.output:
+        print(line, file=out)
+    if result.value is not None:
+        print("=> %r" % result.value, file=out)
+    print("[%d statements executed]" % result.steps_open, file=out)
+    return 0
+
+
+def cmd_split(args, out):
+    program, checker = _load(args.file)
+    sp = _split_for(program, checker, args)
+    if not sp.splits:
+        print("nothing was split (no eligible function/variable)", file=out)
+        return 1
+    stats = sp.stats()
+    for name, split in sorted(sp.splits.items()):
+        print(split.describe(), file=out)
+        s = stats[name]
+        print(
+            "  statements: %d original -> %d open + %d hidden; "
+            "%d fragment params" % (
+                s["original_stmts"], s["open_stmts"], s["hidden_stmts"],
+                s["params_total"],
+            ),
+            file=out,
+        )
+        print(file=out)
+        print("--- open component ---", file=out)
+        print(pretty_function(split.open_fn), file=out)
+        if args.show_fragments:
+            print("--- hidden component ---", file=out)
+            for label in sorted(split.fragments):
+                print(split.fragments[label].describe(), file=out)
+                print(file=out)
+    return 0
+
+
+def cmd_run_split(args, out):
+    program, checker = _load(args.file)
+    sp = _split_for(program, checker, args)
+    run_args = _parse_args_list(args.args)
+    if args.remote:
+        from repro.runtime.remote import run_split_remote
+
+        host, _, port = args.remote.rpartition(":")
+        result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
+                                  entry=args.entry, args=run_args)
+        for line in result.output:
+            print(line, file=out)
+        print(
+            "[ran against remote hidden component; %d real round trips]"
+            % result.interactions,
+            file=out,
+        )
+        return 0
+    check_equivalence(program, sp, entry=args.entry, args=run_args)
+    latency = _LATENCIES[args.latency]()
+    result = run_split(sp, entry=args.entry, args=run_args, latency=latency)
+    for line in result.output:
+        print(line, file=out)
+    print(
+        "[split verified equivalent; %d interactions, %.2f ms channel time, "
+        "%d open + %d hidden statements]"
+        % (
+            result.interactions,
+            result.channel.simulated_ms,
+            result.steps_open,
+            result.steps_hidden,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_analyze(args, out):
+    program, checker = _load(args.file)
+    sp = _split_for(program, checker, args)
+    if not sp.splits:
+        print("nothing was split (no eligible function/variable)", file=out)
+        return 1
+    report = analyze_split_security(sp, checker, args.file)
+    table = Table("ILP security characterisation", ["ILP", "kind", "AC", "CC"])
+    for c in report.complexities:
+        table.add_row(str(c.ilp), c.ilp.kind, str(c.ac), str(c.cc))
+    print(table.render(), file=out)
+    print(file=out)
+    print("type histogram: %r" % report.type_histogram(), file=out)
+    print(
+        "paths variable: %d   predicates hidden: %d   flow hidden: %d"
+        % (
+            report.paths_variable_count(),
+            report.predicates_hidden_count(),
+            report.flow_hidden_count(),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_lint(args, out):
+    from repro.analysis.function import analyze_function
+    from repro.analysis.lint import diagnose_split, lint_program
+    from repro.security.estimator import estimate_split_complexities
+
+    program, checker = _load(args.file)
+    findings = lint_program(program)
+    if args.split:
+        sp = _split_for(program, checker, args)
+        for name, split in sorted(sp.splits.items()):
+            fn = program.function(name)
+            analysis = analyze_function(fn, checker)
+            results = estimate_split_complexities(split, analysis)
+            findings.extend(diagnose_split(split, results))
+    if not findings:
+        print("no findings", file=out)
+        return 0
+    for f in findings:
+        print("%-22s %-20s %s" % (f.kind, f.where, f.message), file=out)
+    return 1
+
+
+def cmd_serve(args, out):
+    from repro.core.deploy import import_split
+    from repro.runtime.remote import HiddenComponentServer
+
+    with open(args.manifest) as f:
+        deployed = import_split(f.read())
+    server = HiddenComponentServer(
+        deployed.registry(),
+        hidden_globals=deployed.hidden_global_inits,
+        hidden_field_classes=deployed.hidden_field_classes,
+        host=args.host,
+        port=args.port,
+    )
+    print("hidden component serving on %s:%d" % server.address, file=out)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_graph(args, out):
+    from repro.analysis.dot import callgraph_to_dot, cfg_to_dot, ddg_to_dot, split_to_dot
+    from repro.analysis.callgraph import build_callgraph
+    from repro.analysis.function import analyze_function
+
+    program, checker = _load(args.file)
+    if args.kind == "callgraph":
+        print(callgraph_to_dot(build_callgraph(program, checker)), file=out)
+        return 0
+    if not args.function:
+        print("error: --function is required for %s graphs" % args.kind, file=out)
+        return 2
+    fn = program.function(args.function)
+    if args.kind == "split":
+        sp = _split_for(program, checker, args)
+        split = sp.splits.get(fn.qualified_name)
+        if split is None:
+            print("error: %s was not split" % args.function, file=out)
+            return 1
+        print(split_to_dot(split), file=out)
+        return 0
+    analysis = analyze_function(fn, checker)
+    if args.kind == "cfg":
+        print(cfg_to_dot(analysis.cfg), file=out)
+    else:
+        print(ddg_to_dot(analysis.ddg), file=out)
+    return 0
+
+
+def cmd_export(args, out):
+    from repro.core.deploy import export_split_json
+
+    program, checker = _load(args.file)
+    sp = _split_for(program, checker, args)
+    if not sp.splits:
+        print("nothing was split", file=out)
+        return 1
+    text = export_split_json(sp)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print("wrote %s (%d bytes)" % (args.output, len(text)), file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_table1(args, out):
+    program, _ = _load(args.file)
+    report = analyze_self_contained(program, args.file)
+    table = Table("Self-contained method analysis (Table 1)", ["Metric", "Count"])
+    for label, count in report.rows():
+        table.add_row(label, count)
+    print(table.render(), file=out)
+    return 0
+
+
+def cmd_attack(args, out):
+    import random
+
+    from repro.attack.driver import attack_split_program
+
+    program, checker = _load(args.file)
+    sp = _split_for(program, checker, args)
+    if not sp.splits:
+        print("nothing was split", file=out)
+        return 1
+    entry_fn = program.function(args.entry)
+    rng = random.Random(args.seed)
+    runs = [
+        tuple(rng.randint(-9, 9) for _ in entry_fn.params) for _ in range(args.runs)
+    ]
+    outcomes = attack_split_program(sp, runs, entry=args.entry)
+    table = Table(
+        "Recovery attempts", ["Fragment", "Outcome", "Technique", "Samples"]
+    )
+    for (fn_name, label), outcome in sorted(outcomes.items()):
+        win = outcome.winning
+        table.add_row(
+            "%s#%d" % (fn_name, label),
+            "BROKEN" if outcome.broken else "resisted",
+            win.technique if win else "-",
+            win.samples_used if win else len(outcome.trace),
+        )
+    print(table.render(), file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Slicing-based software splitting (Zhang & Gupta, CGO 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_selection=True):
+        p.add_argument("file", help="MiniJava source file")
+        p.add_argument("--entry", default="main", help="entry function")
+        if with_selection:
+            p.add_argument("--function", help="function to split (with --var)")
+            p.add_argument("--var", help="hidden variable (with --function)")
+
+    p = sub.add_parser("run", help="run a program unmodified")
+    common(p, with_selection=False)
+    p.add_argument("--args", nargs="*", default=[], help="entry arguments")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("split", help="split and show both components")
+    common(p)
+    p.add_argument("--show-fragments", action="store_true")
+    p.set_defaults(fn=cmd_split)
+
+    p = sub.add_parser("run-split", help="split, verify, and run over the channel")
+    common(p)
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
+    p.add_argument("--remote", help="host:port of a served hidden component")
+    p.set_defaults(fn=cmd_run_split)
+
+    p = sub.add_parser("analyze", help="Section 3 security characterisation")
+    common(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("lint", help="hygiene and protection-quality diagnostics")
+    common(p)
+    p.add_argument("--split", action="store_true",
+                   help="also diagnose the split's protection quality")
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("serve", help="serve a hidden component from a manifest")
+    p.add_argument("manifest", help="manifest JSON from 'export'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("graph", help="emit DOT graphs (cfg/ddg/callgraph/split)")
+    common(p)
+    p.add_argument("--kind", choices=["cfg", "ddg", "callgraph", "split"], default="cfg")
+    p.set_defaults(fn=cmd_graph)
+
+    p = sub.add_parser("export", help="write the deployment manifest (JSON)")
+    common(p)
+    p.add_argument("--output", "-o", help="output file (default: stdout)")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("table1", help="self-contained method analysis")
+    common(p, with_selection=False)
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("attack", help="attempt automated recovery of the ILPs")
+    common(p)
+    p.add_argument("--runs", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_attack)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args, out)
+    except LangError as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+    except (SplitError, RuntimeErr, ValueError) as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the slicing-based splitting
+transformation that divides a function into an open component ``Of`` and a
+hidden component ``Hf`` (Section 2.2), plus function/variable selection and
+whole-program splitting pipelines.
+"""
+
+from repro.core.hidden import FragmentKind, HiddenFragment, ILPSite, SplitFunction
+from repro.core.splitter import SplitError, SplitOptions, split_function
+from repro.core.program import SplitProgram, split_program
+from repro.core.globals import hide_global
+from repro.core.classes import split_class
+from repro.core.pipeline import auto_split
+from repro.core.selection import (
+    select_functions,
+    select_variable,
+    splittable_variables,
+)
+
+__all__ = [
+    "FragmentKind",
+    "SplitError",
+    "auto_split",
+    "hide_global",
+    "split_class",
+    "HiddenFragment",
+    "ILPSite",
+    "SplitFunction",
+    "SplitOptions",
+    "SplitProgram",
+    "select_functions",
+    "select_variable",
+    "split_function",
+    "split_program",
+    "splittable_variables",
+]

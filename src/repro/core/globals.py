@@ -1,0 +1,153 @@
+"""Global variable hiding (Section 2.2).
+
+"We can select a global variable for hiding and then identify all
+statements in each of the functions that refer to the global variable.  If
+a function meets the characteristics outlined earlier, then slices starting
+from statements referring to the selected global variable are computed for
+transfer to Hf. ...  On the other hand, if the function does not meet the
+required characteristics, it is not sliced.  Instead corresponding to each
+reference to the global variable, an appropriate call to a hidden function
+is made either to update the value of the global variable on the hidden
+side or fetch its value for use in the open side."
+
+The hidden global's storage lives on the server (shared across all
+activations); the transformed program no longer declares it — the open
+component is genuinely incomplete without the secure side.
+"""
+
+from repro.lang import ast
+from repro.lang.clone import clone_expr, clone_type, clone_function
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.function import analyze_function
+from repro.core.program import SplitProgram
+from repro.core.splitter import (
+    SplitError,
+    SplitOptions,
+    rewrite_references_only,
+    split_function,
+)
+from repro.runtime.values import default_value, unary_op
+
+
+def _initial_value(decl):
+    if decl.init is None:
+        return default_value(decl.var_type)
+    expr = decl.init
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp):
+        return unary_op(expr.op, expr.operand.value)
+    raise SplitError("global initialiser too complex")
+
+
+def functions_referencing(program, name):
+    """Functions with at least one reference to global ``name``."""
+    out = []
+    for fn in program.all_functions():
+        for stmt in ast.walk_stmts(fn.body):
+            if any(
+                isinstance(e, ast.VarRef) and e.name == name and e.binding == "global"
+                for e in ast.stmt_exprs(stmt)
+            ):
+                out.append(fn)
+                break
+    return out
+
+
+def _defines(fn, name):
+    for stmt in ast.walk_stmts(fn.body):
+        if (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.target, ast.VarRef)
+            and stmt.target.name == name
+            and stmt.target.binding == "global"
+        ):
+            return True
+    return False
+
+
+def hide_global(program, checker, name, options=None):
+    """Hide global ``name``: returns a :class:`SplitProgram` in which every
+    function referencing it interacts with the secure side instead."""
+    options = options or SplitOptions()
+    decl = None
+    for g in program.globals:
+        if g.name == name:
+            decl = g
+            break
+    if decl is None:
+        raise SplitError("no global named %r" % name)
+    if not ast.is_scalar_type(decl.var_type):
+        raise SplitError("only scalar globals can be hidden")
+
+    cg = build_callgraph(program, checker)
+    recursive = cg.recursive_functions()
+    referencing = functions_referencing(program, name)
+    if not referencing:
+        raise SplitError("global %r is never referenced" % name)
+
+    splits = {}
+    fn_ids = {}
+    for fn_id, fn in enumerate(referencing):
+        analysis = analyze_function(fn, checker)
+        qualified = fn.qualified_name
+        eligible = (
+            qualified not in recursive
+            and qualified not in cg.called_in_loop
+            and _defines(fn, name)
+        )
+        if eligible:
+            split = split_function(
+                fn,
+                name,
+                analysis,
+                fn_id=fn_id,
+                options=options,
+                hidden_storage={name},
+                storage_class="global",
+            )
+        else:
+            split = rewrite_references_only(
+                fn, {name}, analysis, fn_id=fn_id, options=options,
+                storage_class="global",
+            )
+        splits[qualified] = split
+        fn_ids[qualified] = fn_id
+
+    transformed = _rebuild_program(program, splits, drop_global=name)
+    return SplitProgram(
+        program,
+        transformed,
+        splits,
+        fn_ids,
+        hidden_global_inits={name: _initial_value(decl)},
+    )
+
+
+def _rebuild_program(program, splits, drop_global=None, drop_fields=None):
+    """Clone the program, swapping in open components; optionally drop a
+    hidden global declaration or hidden class fields."""
+    drop_fields = drop_fields or {}
+    new_globals = [
+        ast.GlobalDecl(clone_type(g.var_type), g.name, clone_expr(g.init))
+        for g in program.globals
+        if g.name != drop_global
+    ]
+    new_functions = [
+        splits[fn.qualified_name].open_fn if fn.qualified_name in splits else clone_function(fn)
+        for fn in program.functions
+    ]
+    new_classes = []
+    for cls in program.classes:
+        hidden_fields = drop_fields.get(cls.name, set())
+        fields = [
+            ast.FieldDecl(clone_type(f.field_type), f.name)
+            for f in cls.fields
+            if f.name not in hidden_fields
+        ]
+        methods = [
+            splits[m.qualified_name].open_fn if m.qualified_name in splits else clone_function(m)
+            for m in cls.methods
+        ]
+        new_classes.append(ast.ClassDecl(cls.name, fields, methods))
+    return ast.Program(new_globals, new_classes, new_functions)

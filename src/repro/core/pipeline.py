@@ -1,0 +1,38 @@
+"""One-call pipeline: select -> slice -> split -> package.
+
+This is the API a tool user starts from::
+
+    from repro.lang import parse_program, check_program
+    from repro.core.pipeline import auto_split
+
+    program = parse_program(source)
+    checker = check_program(program)
+    result = auto_split(program, checker)          # a SplitProgram
+"""
+
+from repro.analysis.function import analyze_function
+from repro.core.program import split_program
+from repro.core.selection import select_functions, select_variable
+from repro.core.splitter import SplitOptions
+
+
+def auto_split(program, checker, entry="main", max_functions=None, options=None,
+               scorer=None):
+    """Split ``program`` using the paper's selection strategy: a call-graph
+    cut avoiding recursive and loop-called functions, and per function the
+    local variable whose trial split yields the highest maximum ILP
+    arithmetic complexity.
+
+    Returns a :class:`~repro.core.program.SplitProgram` (with zero splits if
+    nothing qualifies).
+    """
+    options = options or SplitOptions()
+    names = select_functions(program, checker, entry=entry, max_functions=max_functions)
+    choices = []
+    for name in names:
+        fn = program.function(name)
+        analysis = analyze_function(fn, checker)
+        var, _trial = select_variable(fn, analysis, options=options, scorer=scorer)
+        if var is not None:
+            choices.append((name, var))
+    return split_program(program, checker, choices, options=options)

@@ -1,0 +1,128 @@
+"""Whole-program splitting.
+
+Applies :func:`~repro.core.splitter.split_function` to a chosen set of
+(function, variable) pairs and assembles the transformed program: split
+functions are replaced by their open components, everything else is cloned
+unchanged.  The hidden fragments are collected into the registry the
+:class:`~repro.runtime.server.HiddenServer` serves from.
+"""
+
+from repro.lang import ast
+from repro.lang.clone import clone_expr, clone_function, clone_type
+from repro.analysis.function import analyze_function
+from repro.core.splitter import SplitOptions, split_function
+
+
+class SplitProgram:
+    """A program split into open and hidden components."""
+
+    def __init__(self, original, program, splits, fn_ids,
+                 hidden_global_inits=None, hidden_field_classes=None):
+        #: the untouched original program (security analysis runs on this)
+        self.original = original
+        #: the transformed program: open components + unchanged functions
+        self.program = program
+        #: qualified function name -> SplitFunction
+        self.splits = splits
+        #: qualified function name -> fn_id used by ``hopen``
+        self.fn_ids = fn_ids
+        #: hidden global name -> initial value (global-hiding mode)
+        self.hidden_global_inits = dict(hidden_global_inits or {})
+        #: class name -> {hidden field name -> initial value} (class splitting)
+        self.hidden_field_classes = dict(hidden_field_classes or {})
+
+    def registry(self):
+        """fn_id -> (name, {label: fragment}, storage_map) for the server."""
+        out = {}
+        for name, fn_id in self.fn_ids.items():
+            split = self.splits[name]
+            out[fn_id] = (name, split.fragments, split.storage_map)
+        return out
+
+    def all_ilps(self):
+        for split in self.splits.values():
+            for ilp in split.ilps:
+                yield split, ilp
+
+    def methods_sliced(self):
+        """Table 2: number of methods chosen for splitting."""
+        return len(self.splits)
+
+    def statements_in_slices(self):
+        """Table 2: total statements across all constructed slices."""
+        return sum(s.statements_in_slice() for s in self.splits.values())
+
+    def ilp_count(self):
+        """Table 2: number of ILPs present after splitting."""
+        return sum(len(s.ilps) for s in self.splits.values())
+
+    def stats(self):
+        """Communication/code statistics per split function (used by the
+        CLI and the code-size benchmark)."""
+        from repro.core.hidden import FragmentKind
+        from repro.lang import ast
+
+        out = {}
+        for name, split in self.splits.items():
+            by_kind = {}
+            params_total = 0
+            hidden_stmts = 0
+            for frag in split.fragments.values():
+                by_kind[frag.kind] = by_kind.get(frag.kind, 0) + 1
+                params_total += len(frag.params)
+                hidden_stmts += sum(1 for _ in ast.walk_stmts(frag.body))
+            open_stmts = sum(1 for _ in ast.walk_stmts(split.open_fn.body))
+            original_stmts = sum(1 for _ in ast.walk_stmts(split.original.body))
+            out[name] = {
+                "fragments": len(split.fragments),
+                "fragments_by_kind": by_kind,
+                "params_total": params_total,
+                "hidden_stmts": hidden_stmts,
+                "open_stmts": open_stmts,
+                "original_stmts": original_stmts,
+                "ilps": len(split.ilps),
+                "hidden_vars": len(split.hidden_vars),
+            }
+        return out
+
+    def __repr__(self):
+        return "<SplitProgram %d splits, %d ILPs>" % (len(self.splits), self.ilp_count())
+
+
+def split_program(program, checker, choices, options=None):
+    """Split ``program`` on ``choices``: a list of ``(qualified_name, var)``.
+
+    ``checker`` is the program's populated type checker (bindings must be
+    resolved before splitting).
+    """
+    options = options or SplitOptions()
+    splits = {}
+    fn_ids = {}
+    for fn_id, (name, var) in enumerate(choices):
+        fn = program.function(name)
+        qualified = fn.qualified_name
+        if qualified in splits:
+            raise ValueError("function %r chosen twice" % qualified)
+        analysis = analyze_function(fn, checker)
+        splits[qualified] = split_function(fn, var, analysis, fn_id=fn_id, options=options)
+        fn_ids[qualified] = fn_id
+
+    new_globals = [
+        ast.GlobalDecl(clone_type(g.var_type), g.name, clone_expr(g.init))
+        for g in program.globals
+    ]
+    new_functions = [_replace(fn, splits) for fn in program.functions]
+    new_classes = []
+    for cls in program.classes:
+        fields = [ast.FieldDecl(clone_type(f.field_type), f.name) for f in cls.fields]
+        methods = [_replace(m, splits) for m in cls.methods]
+        new_classes.append(ast.ClassDecl(cls.name, fields, methods))
+    transformed = ast.Program(new_globals, new_classes, new_functions)
+    return SplitProgram(program, transformed, splits, fn_ids)
+
+
+def _replace(fn, splits):
+    split = splits.get(fn.qualified_name)
+    if split is not None:
+        return split.open_fn
+    return clone_function(fn)

@@ -1,0 +1,211 @@
+"""Concise programmatic AST construction.
+
+Used by the splitting transformation (which synthesises the open and hidden
+components) and by the synthetic workload generators.  Example::
+
+    from repro.lang import builders as b
+
+    fn = b.func("sum3", [("int", "x")], "int", [
+        b.decl("int", "s", b.mul(b.var("x"), b.lit(3))),
+        b.ret(b.var("s")),
+    ])
+"""
+
+from repro.lang import ast
+
+_SCALARS = {
+    "int": ast.IntType,
+    "float": ast.FloatType,
+    "bool": ast.BoolType,
+}
+
+
+def ty(spec):
+    """Build a type from a short spec: ``"int"``, ``"float[]"``, ``"Point"``."""
+    if isinstance(spec, ast.Type) or spec is None:
+        return spec
+    if spec == "void":
+        return None
+    if spec.endswith("[]"):
+        return ast.ArrayType(ty(spec[:-2]))
+    if spec in _SCALARS:
+        return _SCALARS[spec]()
+    return ast.ClassType(spec)
+
+
+def lit(value):
+    """Literal from a Python value (bool before int: bool is an int subclass)."""
+    if isinstance(value, bool):
+        return ast.BoolLit(value)
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    if isinstance(value, float):
+        return ast.FloatLit(value)
+    raise TypeError("no literal for %r" % (value,))
+
+
+def var(name):
+    return ast.VarRef(name)
+
+
+def _expr(value):
+    """Coerce a Python value or AST node to an expression."""
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, str):
+        return var(value)
+    return lit(value)
+
+
+def binop(op, left, right):
+    return ast.BinaryOp(op, _expr(left), _expr(right))
+
+
+def add(left, right):
+    return binop("+", left, right)
+
+
+def sub(left, right):
+    return binop("-", left, right)
+
+
+def mul(left, right):
+    return binop("*", left, right)
+
+
+def div(left, right):
+    return binop("/", left, right)
+
+
+def mod(left, right):
+    return binop("%", left, right)
+
+
+def lt(left, right):
+    return binop("<", left, right)
+
+
+def le(left, right):
+    return binop("<=", left, right)
+
+
+def gt(left, right):
+    return binop(">", left, right)
+
+
+def ge(left, right):
+    return binop(">=", left, right)
+
+
+def eq(left, right):
+    return binop("==", left, right)
+
+
+def ne(left, right):
+    return binop("!=", left, right)
+
+
+def and_(left, right):
+    return binop("&&", left, right)
+
+
+def or_(left, right):
+    return binop("||", left, right)
+
+
+def neg(operand):
+    return ast.UnaryOp("-", _expr(operand))
+
+
+def not_(operand):
+    return ast.UnaryOp("!", _expr(operand))
+
+
+def call(name, *args):
+    return ast.Call(name, [_expr(a) for a in args])
+
+
+def method_call(receiver, name, *args):
+    return ast.MethodCall(_expr(receiver), name, [_expr(a) for a in args])
+
+
+def index(base, idx):
+    return ast.Index(_expr(base), _expr(idx))
+
+
+def field(obj, name):
+    return ast.FieldAccess(_expr(obj), name)
+
+
+def new_array(elem, size):
+    return ast.NewArray(ty(elem), _expr(size))
+
+
+def new_object(class_name):
+    return ast.NewObject(class_name)
+
+
+def decl(type_spec, name, init=None):
+    return ast.VarDecl(ty(type_spec), name, _expr(init) if init is not None else None)
+
+
+def assign(target, value):
+    if isinstance(target, str):
+        target = var(target)
+    return ast.Assign(target, _expr(value))
+
+
+def if_(cond, then_body, else_body=None):
+    return ast.If(_expr(cond), list(then_body), list(else_body or []))
+
+
+def while_(cond, body):
+    return ast.While(_expr(cond), list(body))
+
+
+def for_(init, cond, update, body):
+    return ast.For(init, _expr(cond) if cond is not None else None, update, list(body))
+
+
+def ret(value=None):
+    return ast.Return(_expr(value) if value is not None else None)
+
+
+def call_stmt(name_or_expr, *args):
+    if isinstance(name_or_expr, (ast.Call, ast.MethodCall)):
+        return ast.CallStmt(name_or_expr)
+    return ast.CallStmt(call(name_or_expr, *args))
+
+
+def print_(value):
+    return ast.Print(_expr(value))
+
+
+def param(type_spec, name):
+    return ast.Param(ty(type_spec), name)
+
+
+def func(name, params, ret_type, body, owner=None):
+    """Build a function; ``params`` is a list of ``(type_spec, name)`` pairs."""
+    built = [param(t, n) for t, n in params]
+    return ast.Function(name, built, ty(ret_type), list(body), owner=owner)
+
+
+def field_decl(type_spec, name):
+    return ast.FieldDecl(ty(type_spec), name)
+
+
+def class_(name, fields, methods):
+    """Build a class; ``fields`` is a list of ``(type_spec, name)`` pairs."""
+    built_fields = [field_decl(t, n) for t, n in fields]
+    for m in methods:
+        m.owner = name
+    return ast.ClassDecl(name, built_fields, list(methods))
+
+
+def global_(type_spec, name, init=None):
+    return ast.GlobalDecl(ty(type_spec), name, _expr(init) if init is not None else None)
+
+
+def program(functions=(), classes=(), globals_=()):
+    return ast.Program(list(globals_), list(classes), list(functions))

@@ -1,0 +1,35 @@
+"""Error types shared by the language frontend."""
+
+
+class LangError(Exception):
+    """Base class for all frontend errors.
+
+    Carries an optional source position so tools can report ``file:line:col``
+    style diagnostics.
+    """
+
+    def __init__(self, message, line=None, col=None):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(str(self))
+
+    def __str__(self):
+        if self.line is not None:
+            return "%d:%d: %s" % (self.line, self.col or 0, self.message)
+        return self.message
+
+
+class LexError(LangError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(LangError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class TypeError_(LangError):
+    """Raised by the type checker.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """

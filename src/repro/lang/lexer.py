@@ -1,0 +1,208 @@
+"""Hand-written lexer for the MiniJava-like language."""
+
+from repro.lang.errors import LexError
+
+KEYWORDS = {
+    "class",
+    "field",
+    "method",
+    "func",
+    "global",
+    "int",
+    "float",
+    "bool",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "print",
+    "break",
+    "continue",
+    "true",
+    "false",
+    "new",
+}
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ".",
+]
+
+
+class TokenKind:
+    IDENT = "IDENT"
+    INT = "INT"
+    FLOAT = "FLOAT"
+    KEYWORD = "KEYWORD"
+    OP = "OP"
+    EOF = "EOF"
+
+
+class Token:
+    """A single lexed token with its source position."""
+
+    __slots__ = ("kind", "text", "value", "line", "col")
+
+    def __init__(self, kind, text, value, line, col):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.text, self.line, self.col)
+
+    def is_op(self, text):
+        return self.kind == TokenKind.OP and self.text == text
+
+    def is_keyword(self, text):
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+
+def _is_digit(ch):
+    """ASCII digits only — ``str.isdigit`` accepts unicode digit-likes
+    (e.g. superscripts) that ``int()`` rejects."""
+    return "0" <= ch <= "9"
+
+
+class Lexer:
+    """Converts source text into a list of tokens.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments.
+    """
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokens(self):
+        out = []
+        while True:
+            tok = self._next_token()
+            out.append(tok)
+            if tok.kind == TokenKind.EOF:
+                return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _peek(self, offset=0):
+        idx = self.pos + offset
+        if idx < len(self.source):
+            return self.source[idx]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self):
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated block comment", start_line, start_col)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_trivia()
+        line, col = self.line, self.col
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", None, line, col)
+        ch = self._peek()
+        if _is_digit(ch) or (ch == "." and _is_digit(self._peek(1))):
+            return self._lex_number(line, col)
+        if (ch.isascii() and ch.isalpha()) or ch == "_":
+            return self._lex_word(line, col)
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OP, op, None, line, col)
+        raise LexError("unexpected character %r" % ch, line, col)
+
+    def _lex_number(self, line, col):
+        start = self.pos
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if _is_digit(ch):
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp and _is_digit(self._peek(1)):
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp and (
+                _is_digit(self._peek(1))
+                or (self._peek(1) in "+-" and _is_digit(self._peek(2)))
+            ):
+                seen_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        text = self.source[start : self.pos]
+        if seen_dot or seen_exp:
+            return Token(TokenKind.FLOAT, text, float(text), line, col)
+        return Token(TokenKind.INT, text, int(text), line, col)
+
+    def _lex_word(self, line, col):
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isascii()
+            and (self._peek().isalnum() or self._peek() == "_")
+        ):
+            self._advance()
+        text = self.source[start : self.pos]
+        if text in KEYWORDS:
+            return Token(TokenKind.KEYWORD, text, None, line, col)
+        return Token(TokenKind.IDENT, text, text, line, col)
+
+
+def tokenize(source):
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return Lexer(source).tokens()

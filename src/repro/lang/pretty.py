@@ -1,0 +1,162 @@
+"""Pretty printer (unparser) for the MiniJava-like language.
+
+``parse_program(pretty(p))`` is structurally equal to ``p``; the property
+tests rely on this round trip.
+"""
+
+from repro.lang import ast
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+_UNARY_PRECEDENCE = 7
+
+
+def pretty_expr(expr, parent_prec=0):
+    """Render an expression, parenthesising only where required."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.BinaryOp):
+        prec = _PRECEDENCE[expr.op]
+        left = pretty_expr(expr.left, prec)
+        # Right operand of a left-associative operator needs parens when it
+        # is at the same precedence level.
+        right = pretty_expr(expr.right, prec + 1)
+        text = "%s %s %s" % (left, expr.op, right)
+        if prec < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, ast.UnaryOp):
+        text = "%s%s" % (expr.op, pretty_expr(expr.operand, _UNARY_PRECEDENCE))
+        if _UNARY_PRECEDENCE < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return "%s(%s)" % (expr.name, args)
+    if isinstance(expr, ast.MethodCall):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return "%s.%s(%s)" % (pretty_expr(expr.receiver, _UNARY_PRECEDENCE + 1), expr.name, args)
+    if isinstance(expr, ast.Index):
+        return "%s[%s]" % (pretty_expr(expr.base, _UNARY_PRECEDENCE + 1), pretty_expr(expr.index))
+    if isinstance(expr, ast.FieldAccess):
+        return "%s.%s" % (pretty_expr(expr.obj, _UNARY_PRECEDENCE + 1), expr.name)
+    if isinstance(expr, ast.NewArray):
+        return "new %s[%s]" % (_type_text(expr.elem_type), pretty_expr(expr.size))
+    if isinstance(expr, ast.NewObject):
+        return "new %s()" % expr.class_name
+    raise TypeError("cannot pretty-print %r" % (expr,))
+
+
+def _type_text(t):
+    if t is None:
+        return "void"
+    return str(t)
+
+
+def pretty_stmt(stmt, indent=0):
+    """Render a statement (with trailing newline) at ``indent`` levels."""
+    pad = "    " * indent
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.init is not None:
+            return "%s%s %s = %s;\n" % (pad, _type_text(stmt.var_type), stmt.name, pretty_expr(stmt.init))
+        return "%s%s %s;\n" % (pad, _type_text(stmt.var_type), stmt.name)
+    if isinstance(stmt, ast.Assign):
+        return "%s%s = %s;\n" % (pad, pretty_expr(stmt.target), pretty_expr(stmt.value))
+    if isinstance(stmt, ast.If):
+        out = "%sif (%s) {\n" % (pad, pretty_expr(stmt.cond))
+        out += _body_text(stmt.then_body, indent + 1)
+        if stmt.else_body:
+            out += "%s} else {\n" % pad
+            out += _body_text(stmt.else_body, indent + 1)
+        out += "%s}\n" % pad
+        return out
+    if isinstance(stmt, ast.While):
+        out = "%swhile (%s) {\n" % (pad, pretty_expr(stmt.cond))
+        out += _body_text(stmt.body, indent + 1)
+        out += "%s}\n" % pad
+        return out
+    if isinstance(stmt, ast.For):
+        init = _simple_text(stmt.init)
+        cond = pretty_expr(stmt.cond) if stmt.cond is not None else ""
+        update = _simple_text(stmt.update)
+        out = "%sfor (%s; %s; %s) {\n" % (pad, init, cond, update)
+        out += _body_text(stmt.body, indent + 1)
+        out += "%s}\n" % pad
+        return out
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            return "%sreturn %s;\n" % (pad, pretty_expr(stmt.value))
+        return "%sreturn;\n" % pad
+    if isinstance(stmt, ast.CallStmt):
+        return "%s%s;\n" % (pad, pretty_expr(stmt.call))
+    if isinstance(stmt, ast.Print):
+        return "%sprint(%s);\n" % (pad, pretty_expr(stmt.value))
+    if isinstance(stmt, ast.Break):
+        return "%sbreak;\n" % pad
+    if isinstance(stmt, ast.Continue):
+        return "%scontinue;\n" % pad
+    if isinstance(stmt, ast.Block):
+        return "%s{\n%s%s}\n" % (pad, _body_text(stmt.body, indent + 1), pad)
+    raise TypeError("cannot pretty-print %r" % (stmt,))
+
+
+def _simple_text(stmt):
+    """Render a for-header statement without the trailing ';' / newline."""
+    if stmt is None:
+        return ""
+    text = pretty_stmt(stmt, 0)
+    return text.strip().rstrip(";")
+
+
+def _body_text(body, indent):
+    return "".join(pretty_stmt(s, indent) for s in body)
+
+
+def pretty_function(fn, indent=0):
+    pad = "    " * indent
+    keyword = "method" if fn.is_method else "func"
+    params = ", ".join("%s %s" % (_type_text(p.param_type), p.name) for p in fn.params)
+    out = "%s%s %s %s(%s) {\n" % (pad, keyword, _type_text(fn.ret_type), fn.name, params)
+    out += _body_text(fn.body, indent + 1)
+    out += "%s}\n" % pad
+    return out
+
+
+def pretty(program):
+    """Render a whole program."""
+    parts = []
+    for g in program.globals:
+        if g.init is not None:
+            parts.append("global %s %s = %s;\n" % (_type_text(g.var_type), g.name, pretty_expr(g.init)))
+        else:
+            parts.append("global %s %s;\n" % (_type_text(g.var_type), g.name))
+    for cls in program.classes:
+        parts.append("class %s {\n" % cls.name)
+        for fld in cls.fields:
+            parts.append("    field %s %s;\n" % (_type_text(fld.field_type), fld.name))
+        for method in cls.methods:
+            parts.append(pretty_function(method, 1))
+        parts.append("}\n")
+    for fn in program.functions:
+        parts.append(pretty_function(fn))
+    return "".join(parts)

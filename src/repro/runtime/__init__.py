@@ -1,0 +1,29 @@
+"""Execution substrate: a tree-walking interpreter for the language, plus
+the simulated client/server runtime that executes split programs — the open
+component in the interpreter, the hidden component on a
+:class:`~repro.runtime.server.HiddenServer`, with all traffic flowing
+through an accounting :class:`~repro.runtime.channel.Channel`."""
+
+from repro.runtime.values import ArrayValue, ObjectValue, binary_op, unary_op
+from repro.runtime.interpreter import Interpreter, RuntimeErr, StepLimitExceeded
+from repro.runtime.channel import Channel, LatencyModel, Transcript
+from repro.runtime.server import HiddenServer
+from repro.runtime.splitrun import RunResult, run_original, run_split, check_equivalence
+
+__all__ = [
+    "ArrayValue",
+    "Channel",
+    "HiddenServer",
+    "Interpreter",
+    "LatencyModel",
+    "ObjectValue",
+    "RunResult",
+    "RuntimeErr",
+    "StepLimitExceeded",
+    "Transcript",
+    "binary_op",
+    "check_equivalence",
+    "run_original",
+    "run_split",
+    "unary_op",
+]

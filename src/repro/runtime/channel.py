@@ -1,0 +1,118 @@
+"""The simulated communication channel between open and hidden components.
+
+The paper ran the two components on separate Linux machines over a LAN;
+here, every request/response round trip is charged to a configurable
+:class:`LatencyModel` and appended to a :class:`Transcript`.  The transcript
+is exactly what a network adversary observes — the attack module consumes
+it to try to recover hidden fragments.
+"""
+
+
+class LatencyModel:
+    """Per-round-trip cost model.
+
+    ``per_message_ms`` charges each round trip; ``per_value_us`` charges
+    each scalar value carried.  Defaults approximate a 2003-era LAN RPC
+    (a few hundred microseconds per round trip).
+    """
+
+    def __init__(self, per_message_ms=0.35, per_value_us=2.0):
+        self.per_message_ms = per_message_ms
+        self.per_value_us = per_value_us
+
+    def cost_ms(self, value_count):
+        return self.per_message_ms + value_count * self.per_value_us / 1000.0
+
+    @classmethod
+    def instant(cls):
+        """Zero-cost model (for functional tests)."""
+        return cls(per_message_ms=0.0, per_value_us=0.0)
+
+    @classmethod
+    def smart_card(cls):
+        """Slow secure-device model (the 'untrustworthy user' scenario)."""
+        return cls(per_message_ms=2.5, per_value_us=40.0)
+
+    @classmethod
+    def lan(cls):
+        return cls()
+
+
+class Event:
+    """One observable round trip.
+
+    ``kind`` is ``"call"`` (an ``hcall``), ``"open"``/``"close"``
+    (activation management) or ``"cb_fetch"``/``"cb_store"`` (hidden-side
+    callbacks into open memory).
+    """
+
+    __slots__ = ("seq", "kind", "hid", "fn_name", "label", "sent", "result")
+
+    def __init__(self, seq, kind, hid, fn_name, label, sent, result):
+        self.seq = seq
+        self.kind = kind
+        self.hid = hid
+        self.fn_name = fn_name
+        self.label = label
+        self.sent = tuple(sent)
+        self.result = result
+
+    def __repr__(self):
+        return "<Event %d %s %s#%s sent=%r -> %r>" % (
+            self.seq,
+            self.kind,
+            self.fn_name,
+            self.label,
+            self.sent,
+            self.result,
+        )
+
+
+class Transcript:
+    """Ordered log of everything that crossed the channel."""
+
+    def __init__(self):
+        self.events = []
+
+    def append(self, event):
+        self.events.append(event)
+
+    def calls(self, fn_name=None, label=None):
+        out = []
+        for e in self.events:
+            if e.kind != "call":
+                continue
+            if fn_name is not None and e.fn_name != fn_name:
+                continue
+            if label is not None and e.label != label:
+                continue
+            out.append(e)
+        return out
+
+    def __len__(self):
+        return len(self.events)
+
+
+class Channel:
+    """Accounting wrapper every open<->hidden round trip goes through."""
+
+    def __init__(self, latency=None, record=True):
+        self.latency = latency or LatencyModel.lan()
+        self.record = record
+        self.transcript = Transcript() if record else None
+        self.interactions = 0
+        self.values_sent = 0
+        self.values_received = 0
+        self.simulated_ms = 0.0
+
+    def round_trip(self, kind, hid, fn_name, label, sent, result):
+        self.interactions += 1
+        self.values_sent += len(sent)
+        if result is not None:
+            self.values_received += 1
+        self.simulated_ms += self.latency.cost_ms(len(sent) + 1)
+        if self.record:
+            self.transcript.append(
+                Event(self.interactions, kind, hid, fn_name, label, sent, result)
+            )
+        return result

@@ -1,0 +1,342 @@
+"""The hidden-component server.
+
+Executes the fragments of every split function against per-activation
+hidden state.  An activation is created by ``hopen`` (giving the *instance
+id* the paper introduces so that simultaneously live instances of a split
+recursive function stay separate) and destroyed by ``hclose``.
+
+Fragments run on a dedicated evaluator that resolves names in this order:
+fragment parameters / hidden variables (the activation environment), then —
+for aggregate accesses only — callbacks into the open component's memory
+through the :class:`~repro.runtime.interpreter.OpenAccess` window.  Every
+callback is charged to the channel as an extra interaction, reproducing the
+paper's observation for javac that hiding whole loops makes the number of
+inputs "varying ... in each iteration a different array element was being
+sent to the hidden side".
+"""
+
+from repro.lang import ast
+from repro.core.hidden import FragmentKind
+from repro.runtime.values import (
+    RuntimeErr,
+    binary_op,
+    call_builtin,
+    default_value,
+    unary_op,
+)
+from repro.lang.typecheck import BUILTIN_SIGNATURES
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class Activation:
+    """Hidden state of one live instance of a split function."""
+
+    __slots__ = ("hid", "fn_id", "fn_name", "env", "receiver_oid")
+
+    def __init__(self, hid, fn_id, fn_name, receiver_oid=None):
+        self.hid = hid
+        self.fn_id = fn_id
+        self.fn_name = fn_name
+        self.env = {}
+        self.receiver_oid = receiver_oid
+
+
+class HiddenServer:
+    """Serves fragment executions for a split program."""
+
+    def __init__(self, registry, channel, max_steps=20_000_000,
+                 hidden_globals=None, hidden_field_classes=None):
+        """``registry``: fn_id -> (name, {label: HiddenFragment}, storage_map).
+
+        ``hidden_globals`` maps hidden global names to their initial values
+        (global-hiding mode); ``hidden_field_classes`` maps class names to
+        ``{field: initial value}`` for split classes — per-instance hidden
+        state is created when the open component reports ``new`` (the
+        paper's instance-id protocol).
+        """
+        self.registry = registry
+        self.channel = channel
+        self.activations = {}
+        self.steps = 0
+        self.max_steps = max_steps
+        self._next_hid = 1
+        self.hidden_globals = dict(hidden_globals or {})
+        self.hidden_field_classes = dict(hidden_field_classes or {})
+        self.instances = {}  # oid -> {hidden field: value}
+
+    # -- activation management -------------------------------------------------
+
+    def open_activation(self, fn_id, receiver=None):
+        if fn_id not in self.registry:
+            raise RuntimeErr("hidden server: unknown function id %r" % fn_id)
+        hid = self._next_hid
+        self._next_hid += 1
+        fn_name, _fragments, _storage = self.registry[fn_id]
+        receiver_oid = receiver.oid if receiver is not None else None
+        self.activations[hid] = Activation(hid, fn_id, fn_name, receiver_oid)
+        self.channel.round_trip("open", hid, fn_name, None, (fn_id,), hid)
+        return hid
+
+    def close_activation(self, hid):
+        activation = self.activations.pop(hid, None)
+        if activation is not None:
+            self.channel.round_trip("close", hid, activation.fn_name, None, (), None)
+
+    def notify_new_instance(self, obj):
+        """The class-splitting instance-id protocol: when the open component
+        instantiates a split class, the server creates the corresponding
+        hidden field storage under the same instance id."""
+        fields = self.hidden_field_classes.get(obj.class_name)
+        if fields is None:
+            return
+        self.instances[obj.oid] = dict(fields)
+        self.channel.round_trip(
+            "open", None, obj.class_name, None, (obj.oid,), obj.oid
+        )
+
+    # -- fragment execution ------------------------------------------------------
+
+    def call(self, hid, label, values, access):
+        activation = self.activations.get(hid)
+        if activation is None:
+            raise RuntimeErr("hidden server: no activation %r" % hid)
+        fn_name, fragments, storage_map = self.registry[activation.fn_id]
+        fragment = fragments.get(label)
+        if fragment is None:
+            raise RuntimeErr(
+                "hidden server: %s has no fragment %r" % (fn_name, label)
+            )
+        if len(values) != len(fragment.params):
+            raise RuntimeErr(
+                "fragment %s#%d expects %d values, got %d"
+                % (fn_name, label, len(fragment.params), len(values))
+            )
+        env = activation.env
+        for name, value in zip(fragment.params, values):
+            env[name] = value
+        evaluator = _FragmentEvaluator(
+            self, env, access, hid, fn_name, storage_map, activation.receiver_oid
+        )
+        for stmt in fragment.body:
+            evaluator.exec_stmt(stmt)
+        if fragment.result_expr is not None:
+            result = evaluator.eval_expr(fragment.result_expr)
+            if fragment.kind == FragmentKind.PRED:
+                result = bool(result)
+        else:
+            result = 0  # the paper's "any" value
+        self.channel.round_trip("call", hid, fn_name, label, values, result)
+        return result
+
+    def _tick(self):
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise RuntimeErr("hidden server exceeded %d steps" % self.max_steps)
+
+
+class _FragmentEvaluator:
+    """Statement/expression evaluation inside a hidden fragment.
+
+    Scalar name resolution: hidden globals and hidden fields (per the
+    fragment's storage map) live in server-wide / per-instance stores; all
+    other names are activation-local (parameters and hidden locals).
+    """
+
+    def __init__(self, server, env, access, hid, fn_name, storage_map=None,
+                 receiver_oid=None):
+        self.server = server
+        self.env = env
+        self.access = access
+        self.hid = hid
+        self.fn_name = fn_name
+        self.storage_map = storage_map or {}
+        self.receiver_oid = receiver_oid
+
+    def _read_name(self, name):
+        kind = self.storage_map.get(name)
+        if kind == "global":
+            return self.server.hidden_globals.get(name, 0)
+        if kind == "field":
+            fields = self._instance_fields()
+            return fields.get(name, 0)
+        if name in self.env:
+            return self.env[name]
+        # Hidden variable read before any write: mirrors a default-
+        # initialised local (the open program was type checked).
+        return 0
+
+    def _write_name(self, name, value):
+        kind = self.storage_map.get(name)
+        if kind == "global":
+            self.server.hidden_globals[name] = value
+            return
+        if kind == "field":
+            self._instance_fields()[name] = value
+            return
+        self.env[name] = value
+
+    def _instance_fields(self):
+        if self.receiver_oid is None:
+            raise RuntimeErr(
+                "hidden fragment of %s touches hidden fields without an "
+                "instance id" % self.fn_name
+            )
+        fields = self.server.instances.get(self.receiver_oid)
+        if fields is None:
+            raise RuntimeErr(
+                "hidden server has no instance %r (was 'new' reported?)"
+                % self.receiver_oid
+            )
+        return fields
+
+    # -- statements ---------------------------------------------------------------
+
+    def exec_body(self, body):
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt):
+        self.server._tick()
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                value = self.eval_expr(stmt.init)
+                if isinstance(stmt.var_type, ast.FloatType) and isinstance(value, int):
+                    value = float(value)
+                self.env[stmt.name] = value
+            else:
+                self.env[stmt.name] = default_value(stmt.var_type)
+            return
+        if isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.VarRef):
+                self._write_name(target.name, value)
+                return
+            if isinstance(target, ast.Index):
+                if not isinstance(target.base, ast.VarRef):
+                    raise RuntimeErr("hidden fragment: complex array target")
+                index = self.eval_expr(target.index)
+                self._cb_store_index(target.base.name, index, value)
+                return
+            if isinstance(target, ast.FieldAccess):
+                if not isinstance(target.obj, ast.VarRef):
+                    raise RuntimeErr("hidden fragment: complex field target")
+                self._cb_store_field(target.obj.name, target.name, value)
+                return
+            raise RuntimeErr("hidden fragment: bad assignment target")
+        if isinstance(stmt, ast.If):
+            if self._truthy(self.eval_expr(stmt.cond)):
+                self.exec_body(stmt.then_body)
+            else:
+                self.exec_body(stmt.else_body)
+            return
+        if isinstance(stmt, ast.While):
+            while self._truthy(self.eval_expr(stmt.cond)):
+                self.server._tick()
+                try:
+                    self.exec_body(stmt.body)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return
+        if isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.exec_stmt(stmt.init)
+            while stmt.cond is None or self._truthy(self.eval_expr(stmt.cond)):
+                self.server._tick()
+                try:
+                    self.exec_body(stmt.body)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.update is not None:
+                    self.exec_stmt(stmt.update)
+            return
+        if isinstance(stmt, ast.Break):
+            raise _Break()
+        if isinstance(stmt, ast.Continue):
+            raise _Continue()
+        if isinstance(stmt, ast.Block):
+            self.exec_body(stmt.body)
+            return
+        raise RuntimeErr("hidden fragment cannot execute %r" % (stmt,))
+
+    def _truthy(self, value):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return value != 0
+        raise RuntimeErr("hidden fragment: condition is not a bool: %r" % (value,))
+
+    # -- expressions -----------------------------------------------------------------
+
+    def eval_expr(self, expr):
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+            return expr.value
+        if isinstance(expr, ast.VarRef):
+            return self._read_name(expr.name)
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "&&":
+                return self._truthy(self.eval_expr(expr.left)) and self._truthy(
+                    self.eval_expr(expr.right)
+                )
+            if expr.op == "||":
+                return self._truthy(self.eval_expr(expr.left)) or self._truthy(
+                    self.eval_expr(expr.right)
+                )
+            return binary_op(expr.op, self.eval_expr(expr.left), self.eval_expr(expr.right))
+        if isinstance(expr, ast.UnaryOp):
+            return unary_op(expr.op, self.eval_expr(expr.operand))
+        if isinstance(expr, ast.Call):
+            if expr.name not in BUILTIN_SIGNATURES:
+                raise RuntimeErr(
+                    "hidden fragment may not call function %r" % expr.name
+                )
+            return call_builtin(expr.name, [self.eval_expr(a) for a in expr.args])
+        if isinstance(expr, ast.Index):
+            if not isinstance(expr.base, ast.VarRef):
+                raise RuntimeErr("hidden fragment: complex array base")
+            index = self.eval_expr(expr.index)
+            return self._cb_fetch_index(expr.base.name, index)
+        if isinstance(expr, ast.FieldAccess):
+            if not isinstance(expr.obj, ast.VarRef):
+                raise RuntimeErr("hidden fragment: complex field object")
+            return self._cb_fetch_field(expr.obj.name, expr.name)
+        raise RuntimeErr("hidden fragment cannot evaluate %r" % (expr,))
+
+    # -- callbacks into open memory -----------------------------------------------------
+
+    def _cb_fetch_index(self, name, index):
+        value = self.access.fetch_index(name, index)
+        self.server.channel.round_trip(
+            "cb_fetch", self.hid, self.fn_name, None, (name, index), value
+        )
+        return value
+
+    def _cb_store_index(self, name, index, value):
+        self.access.store_index(name, index, value)
+        self.server.channel.round_trip(
+            "cb_store", self.hid, self.fn_name, None, (name, index, value), None
+        )
+
+    def _cb_fetch_field(self, name, field):
+        value = self.access.fetch_field(name, field)
+        self.server.channel.round_trip(
+            "cb_fetch", self.hid, self.fn_name, None, (name, field), value
+        )
+        return value
+
+    def _cb_store_field(self, name, field, value):
+        self.access.store_field(name, field, value)
+        self.server.channel.round_trip(
+            "cb_store", self.hid, self.fn_name, None, (name, field, value), None
+        )

@@ -1,0 +1,198 @@
+"""Runtime values and operator semantics.
+
+Scalars map onto Python ``int``/``float``/``bool``.  Integer division and
+remainder follow Java semantics (truncation toward zero), matching the
+paper's Java setting; the property tests pin this down.
+"""
+
+import math
+
+from repro.lang import ast
+
+
+class RuntimeErr(Exception):
+    """Raised for dynamic errors (division by zero, bad index, ...)."""
+
+
+class ArrayValue:
+    """A one-dimensional array."""
+
+    __slots__ = ("elems",)
+
+    def __init__(self, elems):
+        self.elems = elems
+
+    @classmethod
+    def of_size(cls, elem_type, size):
+        if size < 0:
+            raise RuntimeErr("negative array size %d" % size)
+        return cls([default_value(elem_type)] * size)
+
+    def get(self, index):
+        self._check(index)
+        return self.elems[index]
+
+    def set(self, index, value):
+        self._check(index)
+        self.elems[index] = value
+
+    def _check(self, index):
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise RuntimeErr("array index must be an int, got %r" % (index,))
+        if index < 0 or index >= len(self.elems):
+            raise RuntimeErr(
+                "array index %d out of bounds [0, %d)" % (index, len(self.elems))
+            )
+
+    def __len__(self):
+        return len(self.elems)
+
+    def __repr__(self):
+        return "ArrayValue(%r)" % (self.elems,)
+
+
+class ObjectValue:
+    """An instance of a class: a field dictionary plus an identity."""
+
+    _id_counter = 0
+
+    __slots__ = ("class_name", "fields", "oid")
+
+    def __init__(self, class_name, fields):
+        self.class_name = class_name
+        self.fields = fields
+        ObjectValue._id_counter += 1
+        self.oid = ObjectValue._id_counter
+
+    def __repr__(self):
+        return "ObjectValue(%s#%d)" % (self.class_name, self.oid)
+
+
+def default_value(t):
+    if isinstance(t, ast.IntType):
+        return 0
+    if isinstance(t, ast.FloatType):
+        return 0.0
+    if isinstance(t, ast.BoolType):
+        return False
+    return None  # arrays and objects default to null
+
+
+def java_int_div(a, b):
+    if b == 0:
+        raise RuntimeErr("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def java_int_rem(a, b):
+    if b == 0:
+        raise RuntimeErr("integer remainder by zero")
+    return a - java_int_div(a, b) * b
+
+
+def _is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _numeric(v, op):
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        raise RuntimeErr("operator %r needs a number, got %r" % (op, v))
+    return v
+
+
+def binary_op(op, left, right):
+    """Evaluate a binary operator on runtime values."""
+    if op == "&&":
+        return bool(left) and bool(right)
+    if op == "||":
+        return bool(left) or bool(right)
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op in ("<", "<=", ">", ">="):
+        a = _numeric(left, op)
+        b = _numeric(right, op)
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        return a >= b
+    a = _numeric(left, op)
+    b = _numeric(right, op)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if _is_int(a) and _is_int(b):
+            return java_int_div(a, b)
+        if b == 0:
+            raise RuntimeErr("float division by zero")
+        return a / b
+    if op == "%":
+        if _is_int(a) and _is_int(b):
+            return java_int_rem(a, b)
+        raise RuntimeErr("'%%' needs ints, got %r and %r" % (a, b))
+    raise RuntimeErr("unknown operator %r" % op)
+
+
+def unary_op(op, value):
+    if op == "-":
+        return -_numeric(value, op)
+    if op == "!":
+        if not isinstance(value, bool):
+            raise RuntimeErr("'!' needs a bool, got %r" % (value,))
+        return not value
+    raise RuntimeErr("unknown unary operator %r" % op)
+
+
+def call_builtin(name, args):
+    """Evaluate one of the language's math builtins."""
+    try:
+        if name == "sqrt":
+            if args[0] < 0:
+                raise RuntimeErr("sqrt of negative number %r" % (args[0],))
+            return math.sqrt(args[0])
+        if name == "exp":
+            return math.exp(args[0])
+        if name == "log":
+            if args[0] <= 0:
+                raise RuntimeErr("log of non-positive number %r" % (args[0],))
+            return math.log(args[0])
+        if name == "sin":
+            return math.sin(args[0])
+        if name == "cos":
+            return math.cos(args[0])
+        if name == "pow":
+            return float(math.pow(args[0], args[1]))
+        if name == "abs":
+            return abs(args[0])
+        if name == "min":
+            return min(args[0], args[1])
+        if name == "max":
+            return max(args[0], args[1])
+        if name == "floor":
+            return int(math.floor(args[0]))
+        if name == "len":
+            arr = args[0]
+            if not isinstance(arr, ArrayValue):
+                raise RuntimeErr("len needs an array, got %r" % (arr,))
+            return len(arr)
+    except OverflowError:
+        raise RuntimeErr("math overflow in %s%r" % (name, tuple(args)))
+    raise RuntimeErr("unknown builtin %r" % name)
+
+
+def scalar_repr(value):
+    """Canonical print format (used to compare original vs. split output)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)

@@ -1,0 +1,45 @@
+"""Security analysis (Section 3 of the paper).
+
+Characterises each information leak point (ILP) of a split function by its
+*arithmetic complexity* ``<Type, Inputs, Degree>`` on the lattice
+``Constant ≺ Linear ≺ Polynomial ≺ Rational ≺ Arbitrary`` and its
+*control-flow complexity* ``<Paths, Predicates, Flow>``, via the iterative
+def-use propagation algorithm of Fig. 3.
+"""
+
+from repro.security.lattice import (
+    AC,
+    CType,
+    TYPE_ORDER,
+    VARYING,
+    ac_max,
+    ac_min,
+    constant_ac,
+    eval_binary,
+    eval_builtin,
+    eval_unary,
+    linear_ac,
+)
+from repro.security.estimator import ILPComplexity, estimate_split_complexities
+from repro.security.controlflow import CC, control_flow_complexity
+from repro.security.report import ComplexityReport, analyze_split_security
+
+__all__ = [
+    "AC",
+    "CC",
+    "CType",
+    "ComplexityReport",
+    "ILPComplexity",
+    "TYPE_ORDER",
+    "VARYING",
+    "ac_max",
+    "ac_min",
+    "analyze_split_security",
+    "constant_ac",
+    "control_flow_complexity",
+    "estimate_split_complexities",
+    "eval_binary",
+    "eval_builtin",
+    "eval_unary",
+    "linear_ac",
+]

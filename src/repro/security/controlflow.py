@@ -1,0 +1,215 @@
+"""Control flow complexity of ILPs (Section 3):
+
+    CC(f_ILP) = <Paths, Predicates, Flow>
+
+* ``Paths`` — number of static paths through the hidden computation feeding
+  the ILP; a *runtime variable* when a loop with non-constant trip count is
+  involved.
+* ``Predicates`` — ``hidden`` when some predicate distinguishing those paths
+  lives in the hidden component (either moved with a hidden construct or
+  evaluated by a ``pred`` fragment).
+* ``Flow`` — ``hidden`` when control constructs themselves moved to ``Hf``.
+"""
+
+from repro.lang import ast
+from repro.analysis.loops import match_counted_loop
+from repro.analysis.slicing import SliceKind
+from repro.security.lattice import VARYING
+
+_PATH_CAP = 1_000_000
+
+
+class CC:
+    """One ``<Paths, Predicates, Flow>`` triple."""
+
+    __slots__ = ("paths", "predicates", "flow")
+
+    def __init__(self, paths, predicates, flow):
+        self.paths = paths  # int or VARYING
+        self.predicates = predicates  # "open" | "hidden"
+        self.flow = flow  # "open" | "hidden"
+
+    @property
+    def paths_variable(self):
+        return self.paths == VARYING
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CC)
+            and self.paths == other.paths
+            and self.predicates == other.predicates
+            and self.flow == other.flow
+        )
+
+    def __hash__(self):
+        return hash((self.paths, self.predicates, self.flow))
+
+    def __repr__(self):
+        paths = "variable" if self.paths == VARYING else str(self.paths)
+        return "<%s, %s, %s>" % (paths, self.predicates, self.flow)
+
+
+def control_flow_complexity(ilp, split, analysis):
+    """Compute ``CC`` for one ILP of ``split``."""
+    defs = _contributing_defs(ilp, split, analysis)
+    constructs = _controlling_constructs(defs, ilp, split, analysis)
+
+    predicates = "open"
+    flow = "open"
+    if ilp.kind == "pred":
+        predicates = "hidden"
+    for construct in constructs:
+        if construct in split.hidden_constructs:
+            predicates = "hidden"
+            flow = "hidden"
+        elif construct in split.pred_constructs:
+            predicates = "hidden"
+    # Flow is also (partially) hidden when the value is accumulated inside a
+    # construct that moved to Hf even if the construct does not dominate the
+    # ILP statement itself.
+    for d in defs:
+        if d.entry:
+            continue
+        if _inside_any(d.node.stmt, split.hidden_constructs):
+            flow = "hidden"
+            predicates = "hidden"
+
+    paths = _count_paths(defs, constructs, split, analysis)
+    return CC(paths, predicates, flow)
+
+
+def _contributing_defs(ilp, split, analysis):
+    """Hidden definitions transitively feeding the ILP's leaked value."""
+    defuse = analysis.defuse
+    cfg = analysis.cfg
+    node = cfg.node_of_stmt.get(ilp.original_stmt)
+    if node is None:
+        return set()
+    if ilp.leaked_var is not None:
+        seed_names = [ilp.leaked_var]
+    else:
+        seed_names = [
+            e.name for e in ast.walk_exprs(ilp.leaked_expr) if isinstance(e, ast.VarRef)
+        ]
+    seen = set()
+    worklist = []
+    for use in defuse.uses_at.get(node, []):
+        if use.name in seed_names:
+            worklist.extend(defuse.reaching_defs(use))
+    while worklist:
+        d = worklist.pop()
+        if d in seen or d.entry:
+            continue
+        seen.add(d)
+        for use in defuse.uses_at.get(d.node, []):
+            worklist.extend(defuse.reaching_defs(use))
+    hidden_exec = _hidden_exec_stmts(split)
+    return {d for d in seen if d.node.stmt in hidden_exec}
+
+
+def _hidden_exec_stmts(split):
+    hidden = set()
+    for stmt, kind in split.slice.statements.items():
+        if kind == SliceKind.FULL:
+            hidden.add(stmt)
+    for construct in split.hidden_constructs:
+        hidden.update(ast.walk_stmts([construct]))
+        if isinstance(construct, ast.For):
+            if construct.init is not None:
+                hidden.add(construct.init)
+            if construct.update is not None:
+                hidden.add(construct.update)
+    return hidden
+
+
+def _controlling_constructs(defs, ilp, split, analysis):
+    """Constructs whose predicates decide which contributing defs execute."""
+    constructs = set()
+    for d in defs:
+        for branch in analysis.control_deps.get(d.node, ()):
+            if branch.stmt is not None:
+                constructs.add(branch.stmt)
+    if ilp.construct is not None:
+        constructs.add(ilp.construct)
+    node = analysis.cfg.node_of_stmt.get(ilp.original_stmt)
+    if node is not None:
+        for branch in analysis.control_deps.get(node, ()):
+            if branch.stmt is not None:
+                constructs.add(branch.stmt)
+    return constructs
+
+
+def _inside_any(stmt, constructs):
+    for construct in constructs:
+        for s in ast.walk_stmts([construct]):
+            if s is stmt:
+                return True
+    return False
+
+
+def _count_paths(defs, constructs, split, analysis):
+    """Static path count through the controlling constructs, or VARYING."""
+    paths = 1
+    for construct in constructs:
+        if isinstance(construct, ast.If):
+            paths = min(paths * 2, _PATH_CAP)
+        elif isinstance(construct, (ast.While, ast.For)):
+            trips = _constant_trip_count(construct)
+            if trips is None:
+                return VARYING
+            paths = min(paths * max(trips, 1), _PATH_CAP)
+    # A loop-accumulated value always multiplies paths, even when its loop
+    # construct does not control the ILP node (the value escaped the loop).
+    for d in defs:
+        if d.entry:
+            continue
+        loop = _innermost_loop(analysis, d.node)
+        if loop is not None and loop.stmt not in constructs:
+            trips = _constant_trip_count(loop.stmt) if loop.stmt is not None else None
+            if trips is None:
+                return VARYING
+            paths = min(paths * max(trips, 1), _PATH_CAP)
+    return paths
+
+
+def _innermost_loop(analysis, node):
+    best = None
+    for loop in analysis.loops:
+        if loop.contains(node) and (best is None or len(loop.body) < len(best.body)):
+            best = loop
+    return best
+
+
+def _constant_trip_count(construct):
+    """Trip count when compile-time constant, else ``None``."""
+    counted = match_counted_loop(construct)
+    if counted is None:
+        return None
+    if not isinstance(counted.bound_expr, ast.IntLit):
+        return None
+    init = _constant_init(construct, counted.var)
+    if init is None:
+        return None
+    bound = counted.bound_expr.value
+    span = bound - init if counted.direction == "up" else init - bound
+    if counted.relop in ("<=", ">="):
+        span += 1
+    if span <= 0:
+        return 0
+    return (span + counted.step - 1) // counted.step
+
+
+def _constant_init(construct, var):
+    if isinstance(construct, ast.For) and construct.init is not None:
+        init = construct.init
+        if isinstance(init, ast.VarDecl) and init.name == var:
+            if isinstance(init.init, ast.IntLit):
+                return init.init.value
+        if (
+            isinstance(init, ast.Assign)
+            and isinstance(init.target, ast.VarRef)
+            and init.target.name == var
+            and isinstance(init.value, ast.IntLit)
+        ):
+            return init.value.value
+    return None

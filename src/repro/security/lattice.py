@@ -1,0 +1,216 @@
+"""The arithmetic complexity lattice.
+
+The paper characterises the function relating a leaked value to observable
+inputs by a triple ``<Type, Inputs, Degree>`` with
+
+    Constant ≺ Linear ≺ Polynomial ≺ Rational ≺ Arbitrary.
+
+``Inputs`` is the set of observable open-component variables involved (the
+paper reports their count, which may be "varying" when loops feed array
+elements to the hidden side one per iteration); ``Degree`` is the highest
+polynomial degree involved (absent for Arbitrary).
+
+This module implements the triples, the partial order with its MIN/MAX
+(Fig. 3 uses MIN across def-use edges for a conservative lower bound;
+the ILP-level summary uses MAX across paths), and the ``EVAL`` rules for
+every operator of the language.
+"""
+
+VARYING = "varying"
+
+#: degree beyond which a recurrence is considered to have left the
+#: polynomial world (keeps the fixpoint iteration finite)
+MAX_DEGREE = 9
+
+
+class CType:
+    CONSTANT = "Constant"
+    LINEAR = "Linear"
+    POLYNOMIAL = "Polynomial"
+    RATIONAL = "Rational"
+    ARBITRARY = "Arbitrary"
+
+
+TYPE_ORDER = [
+    CType.CONSTANT,
+    CType.LINEAR,
+    CType.POLYNOMIAL,
+    CType.RATIONAL,
+    CType.ARBITRARY,
+]
+
+_RANK = {t: i for i, t in enumerate(TYPE_ORDER)}
+
+
+class AC:
+    """One ``<Type, Inputs, Degree>`` arithmetic complexity triple.
+
+    Immutable value object; ``inputs`` is a frozenset of variable names or
+    the string :data:`VARYING`; ``degree`` is an int or :data:`VARYING`
+    (``None`` for Arbitrary, where degree is meaningless).
+    """
+
+    __slots__ = ("type", "inputs", "degree")
+
+    def __init__(self, ctype, inputs=frozenset(), degree=0):
+        self.type = ctype
+        self.inputs = inputs if inputs == VARYING else frozenset(inputs)
+        if ctype == CType.ARBITRARY:
+            degree = None  # degree is meaningless past Rational
+        elif ctype == CType.CONSTANT:
+            degree = 0  # a compile-time constant has degree 0 by definition
+        self.degree = degree
+
+    # -- ordering ----------------------------------------------------------
+
+    def rank(self):
+        """Sortable key implementing the partial order (type first, then
+        degree, then input count)."""
+        degree = self.degree
+        if degree is None:
+            degree = 0
+        elif degree == VARYING:
+            degree = MAX_DEGREE + 1
+        inputs = self.input_count()
+        if inputs == VARYING:
+            inputs = 10_000
+        return (_RANK[self.type], degree, inputs)
+
+    def input_count(self):
+        if self.inputs == VARYING:
+            return VARYING
+        return len(self.inputs)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, AC)
+            and self.type == other.type
+            and self.inputs == other.inputs
+            and self.degree == other.degree
+        )
+
+    def __hash__(self):
+        return hash((self.type, self.inputs, self.degree))
+
+    def __repr__(self):
+        degree = "-" if self.degree is None else str(self.degree)
+        count = self.input_count()
+        return "<%s, %s, %s>" % (self.type, count, degree)
+
+
+def constant_ac():
+    return AC(CType.CONSTANT, frozenset(), 0)
+
+
+def linear_ac(*names):
+    return AC(CType.LINEAR, frozenset(names), 1)
+
+
+def arbitrary_ac(inputs=frozenset()):
+    return AC(CType.ARBITRARY, inputs, None)
+
+
+def _merge_inputs(a, b):
+    if a == VARYING or b == VARYING:
+        return VARYING
+    return a | b
+
+
+def _merge_degrees(op, a, b):
+    if a is None or b is None:
+        return None
+    if a == VARYING or b == VARYING:
+        return VARYING
+    if op == "add":
+        return max(a, b)
+    return a + b  # multiplication
+
+
+def _cap(ac):
+    """Degrees past MAX_DEGREE collapse to Arbitrary (non-polynomial for
+    all practical recovery purposes, and it keeps fixpoints finite)."""
+    if ac.degree not in (None, VARYING) and ac.degree > MAX_DEGREE:
+        return AC(CType.ARBITRARY, ac.inputs, None)
+    return ac
+
+
+def ac_max(a, b):
+    """Join under the ILP-level MAX (paper: across paths)."""
+    return a if a.rank() >= b.rank() else b
+
+
+def ac_min(a, b):
+    """Meet under the Fig. 3 MIN (across def-use edges: lower bound)."""
+    return a if a.rank() <= b.rank() else b
+
+
+def _join_type(a, b):
+    return TYPE_ORDER[max(_RANK[a], _RANK[b])]
+
+
+def eval_binary(op, a, b):
+    """EVAL for a binary operator applied to operand complexities."""
+    inputs = _merge_inputs(a.inputs, b.inputs)
+    if a.type == CType.ARBITRARY or b.type == CType.ARBITRARY:
+        return arbitrary_ac(inputs)
+    if op in ("+", "-"):
+        ctype = _join_type(a.type, b.type)
+        return _cap(AC(ctype, inputs, _merge_degrees("add", a.degree, b.degree)))
+    if op == "*":
+        if a.type == CType.CONSTANT:
+            return AC(b.type, inputs, b.degree)
+        if b.type == CType.CONSTANT:
+            return AC(a.type, inputs, a.degree)
+        # linear*linear and beyond are polynomial; a rational factor keeps
+        # the product rational.
+        ctype = _join_type(_join_type(a.type, b.type), CType.POLYNOMIAL)
+        return _cap(AC(ctype, inputs, _merge_degrees("mul", a.degree, b.degree)))
+    if op == "/":
+        if b.type == CType.CONSTANT:
+            return AC(a.type, inputs, a.degree)
+        # A non-constant divisor makes the expression rational.
+        return _cap(AC(CType.RATIONAL, inputs, _merge_degrees("mul", a.degree, b.degree)))
+    # %, relational and boolean operators are arithmetically arbitrary.
+    return arbitrary_ac(inputs)
+
+
+def eval_unary(op, a):
+    if op == "-":
+        return a
+    return arbitrary_ac(a.inputs)
+
+
+def eval_builtin(name, args):
+    """EVAL for math builtins: all are non-polynomial operators except that
+    composing with constants stays constant."""
+    inputs = frozenset()
+    all_constant = True
+    for a in args:
+        inputs = _merge_inputs(inputs, a.inputs)
+        if a.type != CType.CONSTANT:
+            all_constant = False
+    if all_constant:
+        return constant_ac()
+    return arbitrary_ac(inputs)
+
+
+def raise_by_iteration(ac, iter_ac, multiplicative=False):
+    """The Fig. 3 ``RAISE`` rule: adjust the propagated complexity of a
+    value computed by a loop recurrence when it escapes loop nest ``L``,
+    based on ``AC(Iter(L))``.
+
+    An additive recurrence accumulated over ``n`` iterations behaves like a
+    product with the trip count (``x += c`` is linear in ``n``; ``x += i``
+    with linear ``i`` is quadratic); a multiplicative recurrence is
+    geometric — beyond polynomial — hence Arbitrary.
+
+    One exception keeps the estimate a lower bound: accumulating a *fresh
+    observable per iteration* (``acc += A[j]`` where each element crosses
+    the channel — the paper's javac case) has a closed form that is linear
+    in the observed values, so the type stays Linear with *varying* inputs.
+    """
+    if multiplicative:
+        return arbitrary_ac(_merge_inputs(ac.inputs, iter_ac.inputs))
+    if ac.type == CType.LINEAR and ac.inputs == VARYING:
+        return AC(CType.LINEAR, VARYING, 1)
+    return eval_binary("*", ac, iter_ac)

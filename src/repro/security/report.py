@@ -1,0 +1,82 @@
+"""Per-program security summaries: the aggregations behind Tables 3 and 4."""
+
+from repro.security.controlflow import control_flow_complexity
+from repro.security.estimator import estimate_split_complexities
+from repro.security.lattice import CType, VARYING
+
+
+class ComplexityReport:
+    """All ILP complexities of one split program, with the Table 3/4
+    aggregate views."""
+
+    def __init__(self, name, complexities):
+        self.name = name
+        self.complexities = list(complexities)
+
+    # -- Table 3 -------------------------------------------------------------
+
+    def type_histogram(self):
+        counts = {t: 0 for t in (
+            CType.CONSTANT,
+            CType.LINEAR,
+            CType.POLYNOMIAL,
+            CType.RATIONAL,
+            CType.ARBITRARY,
+        )}
+        for c in self.complexities:
+            counts[c.ac.type] += 1
+        return counts
+
+    def max_inputs(self):
+        """Maximum input count; ``"varying"`` dominates (the javac case)."""
+        best = 0
+        for c in self.complexities:
+            count = c.ac.input_count()
+            if count == VARYING:
+                return VARYING
+            best = max(best, count)
+        return best
+
+    def max_degree(self):
+        best = 0
+        for c in self.complexities:
+            d = c.ac.degree
+            if d in (None, VARYING):
+                continue
+            best = max(best, d)
+        return best
+
+    # -- Table 4 -------------------------------------------------------------
+
+    def paths_variable_count(self):
+        return sum(1 for c in self.complexities if c.cc is not None and c.cc.paths_variable)
+
+    def predicates_hidden_count(self):
+        return sum(
+            1 for c in self.complexities if c.cc is not None and c.cc.predicates == "hidden"
+        )
+
+    def flow_hidden_count(self):
+        return sum(1 for c in self.complexities if c.cc is not None and c.cc.flow == "hidden")
+
+    def __repr__(self):
+        return "<ComplexityReport %s: %d ILPs %r>" % (
+            self.name,
+            len(self.complexities),
+            self.type_histogram(),
+        )
+
+
+def analyze_split_security(split_program, checker, name="program"):
+    """Run the full Section 3 analysis over every split function of a
+    :class:`~repro.core.program.SplitProgram`."""
+    from repro.analysis.function import analyze_function
+
+    complexities = []
+    for qualified, split in split_program.splits.items():
+        fn = split_program.original.function(qualified)
+        analysis = analyze_function(fn, checker)
+        for c in estimate_split_complexities(split, analysis):
+            c.cc = control_flow_complexity(c.ilp, split, analysis)
+            complexities.append(c)
+    return ComplexityReport(name, complexities)

@@ -1,0 +1,35 @@
+"""Synthetic evaluation corpora.
+
+The paper evaluates on five real Java programs (javac, jess, jasmin, bloat,
+jfig) that cannot be rebuilt here; these generators produce MiniJava corpora
+with the same *statistical shape*: the method counts and self-contained
+method breakdown of Table 1, split-method inventories sized like Table 2,
+and per-program arithmetic flavour (jfig arithmetic-heavy with polynomial /
+rational computations, javac with whole hidden loops and varying inputs,
+bloat with many constants, ...).  Everything is seeded and deterministic.
+"""
+
+from repro.workloads.corpora import (
+    CORPUS_BUILDERS,
+    Corpus,
+    bloat_like,
+    build_corpus,
+    jasmin_like,
+    javac_like,
+    jess_like,
+    jfig_like,
+)
+from repro.workloads.inputs import TABLE5_RUNS, Table5Run
+
+__all__ = [
+    "CORPUS_BUILDERS",
+    "Corpus",
+    "TABLE5_RUNS",
+    "Table5Run",
+    "bloat_like",
+    "build_corpus",
+    "jasmin_like",
+    "javac_like",
+    "jess_like",
+    "jfig_like",
+]

@@ -1,0 +1,439 @@
+"""The five evaluation corpora.
+
+Each corpus mirrors one of the paper's Java benchmarks: its Table 1 method
+population (total methods; self-contained breakdown), a split-candidate
+inventory flavoured like its Table 3 complexity mix, and a Table 5 driver
+(``main(n, m)``) whose work scales with ``n`` (outer work units) and ``m``
+(per-unit computation — the "ballast" that models all the code the
+transformation leaves untouched).
+
+Everything is generated deterministically from a per-corpus seed.
+"""
+
+import random
+
+from repro.lang import ast
+from repro.lang import builders as b
+from repro.lang.typecheck import check_program
+from repro.workloads import filler, templates
+
+
+class CorpusSpec:
+    """Generation parameters for one corpus."""
+
+    def __init__(self, name, total_methods, sc_small, sc_large_init,
+                 sc_large_noninit, split_mix, seed):
+        self.name = name
+        self.total_methods = total_methods
+        self.sc_small = sc_small
+        self.sc_large_init = sc_large_init
+        self.sc_large_noninit = sc_large_noninit
+        #: list of template names, one per split candidate (Table 2 order)
+        self.split_mix = split_mix
+        self.seed = seed
+
+
+#: Table 1 populations and per-benchmark split flavours.
+SPECS = {
+    "javac": CorpusSpec(
+        "javac",
+        total_methods=1898,
+        sc_small=8,
+        sc_large_init=0,
+        sc_large_noninit=8,
+        split_mix=[
+            "table_walker",
+            "table_walker",
+            "accumulator_loop",
+            "const_config",
+            "mod_scrambler",
+            "branch_cascade",
+            "linear_chain",
+        ],
+        seed=2003,
+    ),
+    "jess": CorpusSpec(
+        "jess",
+        total_methods=1622,
+        sc_small=0,
+        sc_large_init=6,
+        sc_large_noninit=0,
+        split_mix=[
+            "branch_cascade",
+            "branch_cascade",
+            "branch_cascade",
+            "branch_cascade",
+            "linear_chain",
+            "linear_chain",
+            "const_config",
+            "mod_scrambler",
+            "mod_scrambler",
+            "accumulator_loop",
+            "poly_mixer",
+        ],
+        seed=1337,
+    ),
+    "jasmin": CorpusSpec(
+        "jasmin",
+        total_methods=645,
+        sc_small=2,
+        sc_large_init=2,
+        sc_large_noninit=3,
+        split_mix=[
+            "linear_chain",
+            "const_config",
+            "branch_cascade",
+            "branch_cascade",
+            "mod_scrambler",
+            "poly_mixer",
+        ],
+        seed=77,
+    ),
+    "bloat": CorpusSpec(
+        "bloat",
+        total_methods=3839,
+        sc_small=26,
+        sc_large_init=8,
+        sc_large_noninit=1,
+        split_mix=[
+            "const_config",
+            "const_config",
+            "const_config",
+            "const_config",
+            "const_config",
+            "branch_cascade",
+            "branch_cascade",
+            "branch_cascade",
+            "branch_cascade",
+            "linear_chain",
+            "linear_chain",
+            "linear_chain",
+            "poly_mixer",
+            "poly_mixer",
+            "mod_scrambler",
+            "mod_scrambler",
+        ],
+        seed=404,
+    ),
+    "jfig": CorpusSpec(
+        "jfig",
+        total_methods=2987,
+        sc_small=15,
+        sc_large_init=6,
+        sc_large_noninit=0,
+        split_mix=[
+            "float_curve",
+            "float_curve",
+            "float_curve",
+            "float_curve",
+            "float_curve",
+            "rational_blend",
+            "rational_blend",
+            "rational_blend",
+            "rational_blend",
+            "poly_mixer",
+            "poly_mixer",
+            "poly_mixer",
+            "branch_cascade",
+            "branch_cascade",
+            "const_config",
+            "linear_chain",
+            "linear_chain",
+        ],
+        seed=1962,
+    ),
+}
+
+_METHODS_PER_CLASS = 24
+_ARRAY_SIZE = 256
+
+
+class Corpus:
+    """A generated corpus ready for analysis and execution."""
+
+    def __init__(self, name, spec, program, checker, candidate_names):
+        self.name = name
+        self.spec = spec
+        self.program = program
+        self.checker = checker
+        #: free functions intended (and expected) to be picked for splitting
+        self.candidate_names = candidate_names
+
+    def __repr__(self):
+        return "<Corpus %s: %d methods, %d split candidates>" % (
+            self.name,
+            len(self.program.all_functions()),
+            len(self.candidate_names),
+        )
+
+
+def build_corpus(name, scale=1.0):
+    """Build one corpus; ``scale`` shrinks the filler population (the
+    split candidates and driver are never scaled) so tests stay fast."""
+    spec = SPECS[name]
+    rng = random.Random(spec.seed)
+
+    # Every third candidate is realised as a *method* of an "Engine" class
+    # rather than a free function — the paper splits Java methods, and this
+    # exercises the method-splitting machinery (receiver-carrying
+    # activations) at corpus scale.
+    candidates = []
+    candidate_tags = []
+    method_flags = []
+    for i, template_name in enumerate(spec.split_mix):
+        builder, tag = templates.TEMPLATES[template_name]
+        fn = builder("cand_%d_%s" % (i, template_name), rng)
+        candidates.append(fn)
+        candidate_tags.append(tag)
+        method_flags.append(i % 3 == 2)
+
+    engine_methods = [fn for fn, m in zip(candidates, method_flags) if m]
+    engine = b.class_("Engine", [("int", "gen")], engine_methods) if engine_methods else None
+
+    driver_fns = _build_driver(candidates, candidate_tags, method_flags, rng)
+
+    sc_small_n = _scaled(spec.sc_small, scale)
+    sc_large_init_n = _scaled(spec.sc_large_init, scale)
+    sc_large_noninit_n = _scaled(spec.sc_large_noninit, scale)
+
+    fixed = len(candidates) + len(driver_fns)
+    total_target = max(int(spec.total_methods * scale), fixed + 8)
+    sc_total = sc_small_n + sc_large_init_n + sc_large_noninit_n
+    n_filler = max(total_target - fixed - sc_total, 4)
+
+    classes = _build_filler_classes(
+        rng, n_filler, sc_small_n, sc_large_init_n, sc_large_noninit_n
+    )
+
+    free_candidates = [fn for fn, m in zip(candidates, method_flags) if not m]
+    if engine is not None:
+        classes = [engine] + classes
+    program = b.program(functions=driver_fns + free_candidates, classes=classes)
+    checker = check_program(program)
+    return Corpus(
+        name, spec, program, checker, [fn.qualified_name for fn in candidates]
+    )
+
+
+def javac_like(scale=1.0):
+    return build_corpus("javac", scale)
+
+
+def jess_like(scale=1.0):
+    return build_corpus("jess", scale)
+
+
+def jasmin_like(scale=1.0):
+    return build_corpus("jasmin", scale)
+
+
+def bloat_like(scale=1.0):
+    return build_corpus("bloat", scale)
+
+
+def jfig_like(scale=1.0):
+    return build_corpus("jfig", scale)
+
+
+#: paper benchmark name -> corpus builder
+CORPUS_BUILDERS = {
+    "javac": javac_like,
+    "jess": jess_like,
+    "jasmin": jasmin_like,
+    "bloat": bloat_like,
+    "jfig": jfig_like,
+}
+
+
+def _scaled(count, scale):
+    if count == 0:
+        return 0
+    return max(1, int(round(count * scale))) if scale < 1.0 else count
+
+
+# -- driver ---------------------------------------------------------------------
+
+
+def _candidate_call(fn_name, tag):
+    """A call expression for a candidate, with arguments derived from the
+    work-unit counter ``u`` and the scale parameter ``m``."""
+    if tag == "iiB":
+        return b.call(fn_name, b.add(b.mod("u", 19), 1), b.mod("u", 7), "B")
+    if tag == "iB":
+        return b.call(fn_name, b.sub(b.mod("u", 5), 2), "B")
+    if tag == "iiiB":
+        return b.call(
+            fn_name, b.mod("u", 11), b.add(b.mod("u", 6), 1), b.add(b.mod("u", 9), 1), "B"
+        )
+    if tag == "izAB":
+        # accumulator_loop(x, y, z, A, B): keep the hidden loop's trip count
+        # positive and bounded.
+        return b.call(
+            fn_name,
+            b.mod("u", 3),
+            b.mod("u", 4),
+            b.add(b.mod("u", 17), 40),
+            "A",
+            "B",
+        )
+    if tag == "inAB2":
+        # table_walker(x, n, A, B): n array elements stream to the hidden
+        # side per call.
+        return b.call(fn_name, "u", b.add(b.mod("m", 24), 8), "A", "B")
+    if tag == "f7nB":
+        args = [b.add(b.mod("u", k + 2), 0.25 * (k + 1)) for k in range(7)]
+        args.append(b.add(b.mod("u", 6), 3))  # hidden sampling-loop trip count
+        return b.call(fn_name, *args, "F")
+    if tag == "f3B":
+        return b.call(
+            fn_name,
+            b.add(b.mod("u", 5), 0.5),
+            b.add(b.mod("u", 3), 0.25),
+            b.add(b.mod("u", 7), 1.5),
+            "F",
+        )
+    raise ValueError("unknown candidate tag %r" % tag)
+
+
+def _returns_float(tag):
+    return tag.startswith("f")
+
+
+def _build_driver(candidates, tags, method_flags, rng):
+    """``main(n, m)`` -> work loop -> ``process`` -> straight-line calls to
+    every split candidate plus recursive (hence never-split) ballast."""
+    process_body = [
+        b.decl("int", "acc", b.call("ballast", "u", "m", "A")),
+    ]
+    needs_floats = any(_returns_float(tag) for tag in tags)
+    any_methods = any(method_flags)
+    for fn, tag, is_method in zip(candidates, tags, method_flags):
+        call = _candidate_call(fn.name, tag)
+        if is_method:
+            call = b.method_call("eng", fn.name, *call.args)
+        if _returns_float(tag):
+            call = b.call("floor", call)
+        process_body.append(b.assign("acc", b.add("acc", call)))
+    process_body.append(b.ret("acc"))
+    process_params = [("int", "u"), ("int", "m"), ("int[]", "A"), ("int[]", "B")]
+    if needs_floats:
+        process_params.append(("float[]", "F"))
+    if any_methods:
+        process_params.append(("Engine", "eng"))
+    process = b.func("process", process_params, "int", process_body)
+
+    ballast = b.func(
+        "ballast",
+        [("int", "u"), ("int", "m"), ("int[]", "A")],
+        "int",
+        [
+            # Dead self-recursion keeps this heavyweight helper out of the
+            # call-graph cut (the paper avoids splitting recursive functions).
+            b.if_(b.lt("m", 0), [b.ret(b.call("ballast", "u", b.add("m", 1), "A"))]),
+            b.decl("int", "s", "u"),
+            b.decl("int", "k", 0),
+            b.while_(
+                b.lt("k", "m"),
+                [
+                    b.assign(
+                        "s",
+                        b.sub(
+                            b.add("s", b.mul(b.index("A", b.mod("k", 251)), 3)),
+                            b.div("s", 7),
+                        ),
+                    ),
+                    b.assign("k", b.add("k", 1)),
+                ],
+            ),
+            b.ret("s"),
+        ],
+    )
+
+    process_args = ["u", "m", "A", "B"]
+    if needs_floats:
+        process_args.append("F")
+    if any_methods:
+        process_args.append("eng")
+    main_prologue = [
+        b.decl("int[]", "A", b.new_array("int", _ARRAY_SIZE)),
+        b.decl("int[]", "B", b.new_array("int", 16)),
+    ]
+    if needs_floats:
+        main_prologue.append(b.decl("float[]", "F", b.new_array("float", 16)))
+    if any_methods:
+        main_prologue.append(b.decl("Engine", "eng", b.new_object("Engine")))
+    main = b.func(
+        "main",
+        [("int", "n"), ("int", "m")],
+        "int",
+        main_prologue + [
+            b.for_(
+                b.decl("int", "k", 0),
+                b.lt("k", _ARRAY_SIZE),
+                b.assign("k", b.add("k", 1)),
+                [
+                    b.assign(
+                        b.index("A", "k"),
+                        b.mod(b.add(b.mul("k", "k"), b.mul(3, "k")), 97),
+                    )
+                ],
+            ),
+            b.decl("int", "total", 0),
+            b.decl("int", "u", 0),
+            b.while_(
+                b.lt("u", "n"),
+                [
+                    b.assign(
+                        "total",
+                        b.add("total", b.call("process", *process_args)),
+                    ),
+                    b.assign("u", b.add("u", 1)),
+                ],
+            ),
+            b.print_("total"),
+            b.print_(b.index("B", 0)),
+            b.print_(b.index("B", 1)),
+            b.ret("total"),
+        ],
+    )
+    return [main, process, ballast]
+
+
+# -- filler population -------------------------------------------------------------
+
+
+def _build_filler_classes(rng, n_filler, sc_small_n, sc_large_init_n, sc_large_noninit_n):
+    """Distribute the method population over classes of ~24 methods."""
+    makers = []
+    for _ in range(sc_small_n):
+        makers.append(lambda name, r: filler.sc_small(name, r))
+    for _ in range(sc_large_init_n):
+        makers.append(lambda name, r: filler.sc_large_initializer(name, r))
+    for _ in range(sc_large_noninit_n):
+        makers.append(lambda name, r: filler.sc_large_noninit(name, r))
+    nsc_makers = [
+        lambda name, r: filler.not_self_contained_caller(name, r, "base"),
+        lambda name, r: filler.not_self_contained_array(name, r),
+        lambda name, r: filler.not_self_contained_alloc(name, r),
+        lambda name, r: filler.not_self_contained_print(name, r),
+    ]
+    # 'base' methods (one per class) count toward the filler population.
+    n_classes = max(1, (n_filler + len(makers)) // _METHODS_PER_CLASS + 1)
+    remaining_filler = max(n_filler - n_classes, 0)
+    for i in range(remaining_filler):
+        makers.append(nsc_makers[i % len(nsc_makers)])
+    rng.shuffle(makers)
+
+    classes = []
+    idx = 0
+    per_class = max(1, (len(makers) + n_classes - 1) // n_classes)
+    for ci in range(n_classes):
+        chunk = makers[idx : idx + per_class]
+        idx += per_class
+        methods = [filler.not_self_contained_alloc("base", rng)]
+        for mi, make in enumerate(chunk):
+            methods.append(make("m%d_%d" % (ci, mi), rng))
+        classes.append(
+            b.class_("C%d" % ci, filler.filler_class_fields(), methods)
+        )
+    return classes

@@ -1,0 +1,127 @@
+"""Filler method generators reproducing the Table 1 population shape.
+
+Table 1 classifies methods as self-contained or not, larger than 10
+statements or not, and initializer or not.  These generators produce each
+category on demand so a corpus can match the paper's exact breakdown:
+
+* ``not_self_contained_*`` — the overwhelming majority in real programs:
+  methods that call other methods, walk arrays, allocate, or do I/O;
+* ``sc_small`` — self-contained but at most 10 statements;
+* ``sc_large_initializer`` — self-contained, big, but just stores
+  constants/parameters into fields ("their behavior can be easily
+  learned");
+* ``sc_large_noninit`` — the rare genuinely interesting whole-method hiding
+  candidates (0 to 8 per program in the paper).
+"""
+
+from repro.lang import builders as b
+
+#: number of scalar fields every filler class carries (initializers target
+#: them; must exceed 10 so initializers clear the size filter)
+FIELDS_PER_CLASS = 14
+
+
+def filler_class_fields():
+    return [("int", "f%d" % i) for i in range(FIELDS_PER_CLASS)]
+
+
+def not_self_contained_caller(name, rng, sibling):
+    """Calls a sibling method — disqualified by the call."""
+    return b.func(
+        name,
+        [("int", "x")],
+        "int",
+        [
+            b.decl("int", "t", b.add("x", rng.randint(1, 9))),
+            b.ret(b.add(b.call(sibling, "t"), 1)),
+        ],
+    )
+
+
+def not_self_contained_array(name, rng):
+    """Walks an array — disqualified by aggregate access."""
+    c = rng.randint(1, 5)
+    return b.func(
+        name,
+        [("int[]", "data"), ("int", "n")],
+        "int",
+        [
+            b.decl("int", "s", 0),
+            b.for_(
+                b.decl("int", "k", 0),
+                b.lt("k", "n"),
+                b.assign("k", b.add("k", 1)),
+                [b.assign("s", b.add("s", b.index("data", "k")))],
+            ),
+            b.ret(b.mul("s", c)),
+        ],
+    )
+
+
+def not_self_contained_alloc(name, rng):
+    """Allocates an array — disqualified."""
+    size = rng.randint(4, 32)
+    return b.func(
+        name,
+        [("int", "x")],
+        "int",
+        [
+            b.decl("int[]", "tmp", b.new_array("int", size)),
+            b.assign(b.index("tmp", 0), "x"),
+            b.ret(b.index("tmp", 0)),
+        ],
+    )
+
+
+def not_self_contained_print(name, rng):
+    """Performs I/O — must stay on the open side."""
+    return b.func(
+        name,
+        [("int", "x")],
+        "void",
+        [
+            b.decl("int", "t", b.mul("x", rng.randint(2, 6))),
+            b.print_("t"),
+        ],
+    )
+
+
+def sc_small(name, rng):
+    """Self-contained, at most 10 statements."""
+    c1 = rng.randint(2, 9)
+    c2 = rng.randint(1, 9)
+    return b.func(
+        name,
+        [("int", "x"), ("int", "y")],
+        "int",
+        [
+            b.decl("int", "t", b.add(b.mul(c1, "x"), "y")),
+            b.decl("int", "u", b.sub("t", c2)),
+            b.ret(b.add("t", "u")),
+        ],
+    )
+
+
+def sc_large_initializer(name, rng, n_stmts=12):
+    """Self-contained, >10 statements, but every statement stores a
+    constant or a parameter into a field."""
+    body = []
+    for i in range(min(n_stmts, FIELDS_PER_CLASS)):
+        if i % 3 == 0:
+            body.append(b.assign("f%d" % i, "p"))
+        else:
+            body.append(b.assign("f%d" % i, rng.randint(0, 99)))
+    return b.func(name, [("int", "p")], "void", body)
+
+
+def sc_large_noninit(name, rng, n_stmts=14):
+    """Self-contained, >10 statements, real scalar computation."""
+    body = [b.decl("int", "acc", b.add("x", "y"))]
+    prev = "acc"
+    for i in range(n_stmts - 2):
+        var = "w%d" % i
+        op = rng.choice([b.add, b.sub, b.mul])
+        body.append(b.decl("int", var, op(prev, rng.randint(1, 7))))
+        prev = var
+    body.append(b.ret(prev))
+    return b.func(name, [("int", "x"), ("int", "y")], "int", body)

@@ -1,0 +1,61 @@
+"""Table 5 run configurations.
+
+Each paper row (benchmark x input) maps to a driver invocation
+``main(n, m)`` of the matching corpus: ``n`` is chosen so the split run's
+*component interaction count* lands near the paper's measurement for that
+row, ``m`` sizes the per-unit open-side ballast (the work the
+transformation does not touch).
+
+The interpreter is orders of magnitude slower per statement than the
+paper's JVM, so the Table 5 benchmark calibrates a per-row statement cost
+such that the simulated "before" time equals the paper's baseline for that
+row — one interpreted statement stands for a fixed number of real ones.
+The quantities actually *measured* by the reproduction are the interaction
+counts, the hidden/open statement split, and therefore the relative
+overhead under the (paper-calibrated) 1.4 ms per round trip LAN model.
+"""
+
+
+class Table5Run:
+    """One row of Table 5."""
+
+    def __init__(self, benchmark, input_name, paper_interactions,
+                 paper_before_s, paper_after_s, n, m):
+        self.benchmark = benchmark
+        self.input_name = input_name
+        self.paper_interactions = paper_interactions
+        self.paper_before_s = paper_before_s
+        self.paper_after_s = paper_after_s
+        self.n = n
+        self.m = m
+
+    @property
+    def paper_increase_pct(self):
+        return 100.0 * (self.paper_after_s - self.paper_before_s) / self.paper_before_s
+
+    def __repr__(self):
+        return "<Table5Run %s/%s n=%d m=%d>" % (
+            self.benchmark,
+            self.input_name,
+            self.n,
+            self.m,
+        )
+
+
+#: (benchmark, input label, paper interactions, before s, after s, n, m).
+#: ``n`` targets the paper's interaction count given each corpus's
+#: per-work-unit interaction rate (javac ~120, jess ~92, jasmin ~48,
+#: bloat ~119, jfig ~150).
+TABLE5_RUNS = [
+    Table5Run("javac", "33K", 875, 2.13, 3.37, 7, 2000),
+    Table5Run("javac", "355K", 4642, 7.91, 11.27, 37, 2000),
+    Table5Run("jess", "dilemma (5K)", 51, 0.82, 1.07, 1, 2000),
+    Table5Run("jess", "fullmab (12K)", 813, 5.39, 6.11, 9, 2000),
+    Table5Run("jess", "hard (.5K)", 11, 5.53, 5.67, 1, 2000),
+    Table5Run("jess", "stack (2K)", 63, 0.78, 1.05, 1, 2000),
+    Table5Run("jess", "wordgame (5K)", 48, 8.55, 8.83, 1, 2000),
+    Table5Run("jess", "zebra (7K)", 143, 2.67, 3.16, 2, 2000),
+    Table5Run("jasmin", "small (124K)", 117, 1.14, 1.27, 2, 2000),
+    Table5Run("bloat", "161smin.jar (149K)", 73, 22.93, 23.87, 1, 2000),
+    Table5Run("bloat", "jess.jar (290K)", 41, 79.29, 82.53, 1, 2000),
+]

@@ -1,0 +1,373 @@
+"""Split-candidate function templates.
+
+Each template emits a function whose forward slice exercises a particular
+corner of the splitting transformation and lands in a particular arithmetic
+complexity class, so corpora can be mixed to reproduce the per-program ILP
+flavour of Tables 3 and 4:
+
+======================  ============================================
+template                dominant ILP complexity
+======================  ============================================
+accumulator_loop        Polynomial (hidden counted loop, RAISE rule)
+table_walker            Linear with *varying* inputs (javac case)
+poly_mixer              Polynomial, small degree
+float_curve             Polynomial, high degree + hidden float loop (jfig)
+rational_blend          Rational (jfig)
+branch_cascade          Arbitrary (hidden predicates, hidden branch flow)
+const_config            Constant (bloat's config flags)
+mod_scrambler           Arbitrary (mod arithmetic)
+linear_chain            Linear, with a fully hidden branch
+======================  ============================================
+
+All templates take scalar parameters plus scratch arrays ``A`` (input) and
+``B``/``F`` (output) and return a scalar, so drivers can call them
+uniformly.  Sizes are randomised in a small band per template so corpora
+are not copy-paste identical, while keeping the Table 2 totals stable.
+"""
+
+from repro.lang import builders as b
+
+
+def _hidden_balance_branch(var, threshold):
+    """A small fully hideable if-then-else (both clauses case (i)): moves to
+    Hf whole, contributing hidden predicates AND hidden flow (Table 4)."""
+    return b.if_(
+        b.gt(var, threshold),
+        [b.assign(var, b.sub(var, threshold))],
+        [b.assign(var, b.add(var, 1))],
+    )
+
+
+def accumulator_loop(name, rng):
+    """Fig. 2 of the paper: linear seed, hidden counted loop accumulating
+    into ``sum``, branch adjusting it, leaks via array stores and return."""
+    c1 = rng.randint(2, 7)
+    c2 = rng.randint(1, 5)
+    threshold = rng.randint(50, 200)
+    return b.func(
+        name,
+        [("int", "x"), ("int", "y"), ("int", "z"), ("int[]", "A"), ("int[]", "B")],
+        "int",
+        [
+            b.decl("int", "a"),
+            b.decl("int", "i"),
+            b.decl("int", "sum"),
+            b.decl("int", "bias"),
+            b.assign("sum", b.index("B", 0)),
+            b.assign("a", b.add(b.mul(c1, "x"), b.mul(c2, "y"))),
+            b.assign("bias", b.add("a", c2)),
+            b.assign("i", "a"),
+            b.while_(
+                b.lt("i", "z"),
+                [
+                    b.assign("sum", b.add("sum", "i")),
+                    b.assign("i", b.add("i", 1)),
+                ],
+            ),
+            _hidden_balance_branch("bias", threshold // 2),
+            b.assign(b.index("B", 2), b.add("bias", "x")),
+            b.if_(
+                b.gt("sum", threshold),
+                [
+                    b.assign("sum", b.sub("sum", threshold)),
+                    b.assign(b.index("B", 1), b.div("sum", 2)),
+                ],
+                [b.assign(b.index("B", 1), 0)],
+            ),
+            b.ret("sum"),
+        ],
+    )
+
+
+def table_walker(name, rng):
+    """javac-style: the hidden loop reads a different array element per
+    iteration — the estimator reports *varying* inputs."""
+    step = rng.randint(1, 3)
+    return b.func(
+        name,
+        [("int", "x"), ("int", "n"), ("int[]", "A"), ("int[]", "B")],
+        "int",
+        [
+            b.decl("int", "acc"),
+            b.decl("int", "j"),
+            b.decl("int", "peak"),
+            b.assign("acc", b.add("x", rng.randint(1, 9))),
+            b.assign("peak", b.mul("acc", 2)),
+            b.assign("j", 0),
+            b.while_(
+                b.lt("j", "n"),
+                [
+                    b.assign("acc", b.add("acc", b.index("A", "j"))),
+                    b.assign("j", b.add("j", step)),
+                ],
+            ),
+            _hidden_balance_branch("peak", rng.randint(10, 40)),
+            b.assign(b.index("B", 0), "acc"),
+            b.assign(b.index("B", 1), b.add("peak", "n")),
+            b.assign(b.index("B", 2), b.sub("acc", "x")),
+            b.ret(b.add("acc", "x")),
+        ],
+    )
+
+
+def poly_mixer(name, rng):
+    """Products of hidden scalars: Polynomial ILPs of modest degree."""
+    c = rng.randint(2, 9)
+    return b.func(
+        name,
+        [("int", "x"), ("int", "y"), ("int[]", "B")],
+        "int",
+        [
+            b.decl("int", "p"),
+            b.decl("int", "q"),
+            b.decl("int", "r"),
+            b.decl("int", "w"),
+            b.assign("p", b.add(b.mul(c, "x"), "y")),
+            b.assign("q", b.add(b.mul("p", "y"), "x")),
+            b.assign("r", b.add(b.mul("q", "p"), c)),
+            b.assign("w", b.add("r", "q")),
+            _hidden_balance_branch("w", rng.randint(20, 90)),
+            b.assign(b.index("B", 0), b.add("q", 1)),
+            b.assign(b.index("B", 1), b.sub("r", "y")),
+            b.assign(b.index("B", 2), b.add("w", "x")),
+            b.ret(b.add("r", "p")),
+        ],
+    )
+
+
+def float_curve(name, rng, degree=6):
+    """jfig-style curve evaluation: high-degree Polynomial ILPs over many
+    float inputs, plus a hidden float sampling loop (variable paths)."""
+    params = [("float", "t"), ("float", "u"), ("float", "v"), ("float", "w"),
+              ("float", "p"), ("float", "q"), ("float", "s"), ("int", "steps"),
+              ("float[]", "F")]
+    body = [
+        b.decl("float", "acc"),
+        b.decl("float", "basis"),
+        b.decl("float", "area"),
+        b.decl("int", "k"),
+        b.decl("float", "span"),
+        b.assign("acc", b.mul("s", 0.5)),
+        b.assign("basis", b.add(b.mul("t", "u"), "v")),
+    ]
+    factors = ["t", "u", "v", "w", "p", "q"]
+    for idx in range(2, degree):
+        body.append(b.assign("basis", b.mul("basis", factors[idx % len(factors)])))
+        if idx % 2 == 0:
+            body.append(b.assign("acc", b.add("acc", "basis")))
+    # affine transform pipeline over the evaluated point (rotation-style
+    # arithmetic: lots of linear float work, the bulk of jfig's slices)
+    body.extend(
+        [
+            b.decl("float", "px", b.add(b.mul("acc", 0.5), "t")),
+            b.decl("float", "py", b.sub(b.mul("acc", 0.25), "u")),
+            b.decl("float", "tx", b.add(b.mul(2.0, "px"), b.mul(3.0, "py"))),
+            b.decl("float", "ty", b.sub(b.mul(2.0, "py"), "px")),
+            b.assign("px", b.add("tx", "p")),
+            b.assign("py", b.add("ty", "q")),
+            b.assign("tx", b.add(b.mul("px", 0.75), b.mul("py", 0.5))),
+            b.assign("ty", b.sub(b.mul("py", 0.75), b.mul("px", 0.5))),
+            b.assign(b.index("F", 4), b.add("px", "py")),
+            b.assign(b.index("F", 5), b.add("tx", "s")),
+            b.assign(b.index("F", 6), b.sub("ty", "v")),
+            b.assign("acc", b.add("acc", "basis")),
+            # hidden sampling loop: accumulate the curve at `steps` points
+            b.assign("area", 0.0),
+            b.assign("span", b.add("acc", 1.0)),
+            b.assign("k", 0),
+            b.while_(
+                b.lt("k", "steps"),
+                [
+                    b.assign("area", b.add("area", "span")),
+                    b.assign("span", b.add("span", "u")),
+                    b.assign("k", b.add("k", 1)),
+                ],
+            ),
+            b.assign(b.index("F", 0), b.add("acc", "p")),
+            b.assign(b.index("F", 1), b.mul("acc", 2.0)),
+            b.assign(b.index("F", 2), b.add("area", "q")),
+            b.assign(b.index("F", 3), b.sub("area", "acc")),
+            b.ret("acc"),
+        ]
+    )
+    return b.func(name, params, "float", body)
+
+
+def rational_blend(name, rng):
+    """jfig-style perspective division: a hidden non-constant denominator
+    makes the leaked values Rational."""
+    c = float(rng.randint(2, 5))
+    return b.func(
+        name,
+        [("float", "x"), ("float", "y"), ("float", "w"), ("float[]", "F")],
+        "float",
+        [
+            b.decl("float", "u"),
+            b.decl("float", "d"),
+            b.decl("float", "r"),
+            b.decl("float", "g"),
+            b.decl("float", "nx"),
+            b.decl("float", "ny"),
+            b.decl("float", "scale"),
+            b.assign("u", b.add(b.mul(c, "x"), "y")),
+            b.assign("d", b.add("w", b.mul("u", "u"))),
+            b.assign("r", b.div(b.add("u", "x"), "d")),
+            b.assign("g", b.div("u", b.add("d", 1.0))),
+            # perspective-projected point: more rational leaks
+            b.assign("nx", b.div(b.mul("u", "x"), "d")),
+            b.assign("ny", b.div(b.mul("u", "y"), "d")),
+            b.assign("scale", b.add(b.mul("r", "r"), 1.0)),
+            b.assign(b.index("F", 0), b.mul("r", "y")),
+            b.assign(b.index("F", 1), b.div("u", "d")),
+            b.assign(b.index("F", 2), b.add("g", "r")),
+            b.assign(b.index("F", 3), b.mul("g", "x")),
+            b.assign(b.index("F", 4), b.add("nx", "ny")),
+            b.assign(b.index("F", 5), b.mul("scale", "w")),
+            b.assign(b.index("F", 6), b.sub("nx", "r")),
+            b.ret("r"),
+        ],
+    )
+
+
+def branch_cascade(name, rng, depth=3):
+    """Chains of branches on hidden values: the open component must fetch
+    hidden predicates — Arbitrary ILPs, hidden predicates in Table 4 —
+    plus a fully hidden branch (hidden flow)."""
+    t1 = rng.randint(5, 30)
+    t2 = rng.randint(31, 90)
+    t3 = rng.randint(91, 200)
+    body = [
+        b.decl("int", "s"),
+        b.decl("int", "lvl"),
+        b.decl("int", "bal"),
+        b.assign("s", b.add(b.mul(rng.randint(2, 6), "x"), "y")),
+        b.assign("lvl", 0),
+        b.assign("bal", b.add("s", 1)),
+        _hidden_balance_branch("bal", t1),
+    ]
+    cascade = b.if_(
+        b.gt("s", t3),
+        [b.assign("lvl", 3), b.assign("s", b.sub("s", t3))],
+        [
+            b.if_(
+                b.gt("s", t2),
+                [b.assign("lvl", 2), b.assign("s", b.sub("s", t2))],
+                [
+                    b.if_(
+                        b.gt("s", t1),
+                        [b.assign("lvl", 1), b.assign("s", b.sub("s", t1))],
+                        [b.assign("lvl", 0)],
+                    )
+                ],
+            )
+        ],
+    )
+    body.append(cascade)
+    body.extend(
+        [
+            b.assign(b.index("B", 0), b.mul("lvl", "z")),
+            b.assign(b.index("B", 2), b.add("bal", "y")),
+            b.if_(
+                b.gt("s", "z"),
+                [b.assign(b.index("B", 1), b.add("s", 1))],
+                [b.assign(b.index("B", 1), 0)],
+            ),
+            b.ret(b.add("s", "lvl")),
+        ]
+    )
+    return b.func(
+        name,
+        [("int", "x"), ("int", "y"), ("int", "z"), ("int[]", "B")],
+        "int",
+        body,
+    )
+
+
+def const_config(name, rng):
+    """bloat-style configuration flags: hidden variables holding
+    compile-time constants — Constant ILPs."""
+    m1 = rng.randint(1, 4)
+    m2 = rng.randint(5, 9)
+    m3 = rng.randint(10, 19)
+    return b.func(
+        name,
+        [("int", "x"), ("int[]", "B")],
+        "int",
+        [
+            b.decl("int", "mode"),
+            b.decl("int", "passes"),
+            b.decl("int", "flags"),
+            b.assign("mode", m1),
+            b.if_(b.gt("x", 0), [b.assign("mode", m2)], []),
+            b.assign("passes", m1 + m2),
+            b.assign("flags", m3),
+            b.assign(b.index("B", 0), "mode"),
+            b.assign(b.index("B", 1), "passes"),
+            b.assign(b.index("B", 2), "flags"),
+            b.assign(b.index("B", 3), b.add("mode", "x")),
+            b.ret(b.add("mode", "passes")),
+        ],
+    )
+
+
+def mod_scrambler(name, rng):
+    """Hash-style mod arithmetic on hidden values: Arbitrary ILPs."""
+    m = rng.choice([7, 11, 13, 17])
+    c = rng.randint(3, 9)
+    return b.func(
+        name,
+        [("int", "x"), ("int", "y"), ("int[]", "B")],
+        "int",
+        [
+            b.decl("int", "h"),
+            b.decl("int", "slot"),
+            b.decl("int", "probe"),
+            b.assign("h", b.add(b.mul(c, "x"), "y")),
+            b.assign("slot", b.mod("h", m)),
+            b.assign("probe", b.mod(b.add("h", b.mul("slot", "slot")), m)),
+            b.assign(b.index("B", 0), "slot"),
+            b.assign(b.index("B", 1), b.mod(b.add("h", "slot"), m)),
+            b.assign(b.index("B", 2), b.add("probe", "x")),
+            b.ret("slot"),
+        ],
+    )
+
+
+def linear_chain(name, rng, length=6):
+    """A chain of linear updates over hidden scalars: Linear ILPs, plus a
+    fully hidden rebalancing branch (hidden flow without loops)."""
+    body = [b.decl("int", "v0", b.add(b.mul(rng.randint(2, 9), "x"), "y"))]
+    for k in range(1, length):
+        body.append(
+            b.decl(
+                "int",
+                "v%d" % k,
+                b.add(b.mul(rng.randint(2, 5), "v%d" % (k - 1)), rng.randint(0, 9)),
+            )
+        )
+    last = "v%d" % (length - 1)
+    body.append(_hidden_balance_branch(last, rng.randint(40, 160)))
+    body.extend(
+        [
+            b.assign(b.index("B", 0), b.add(last, "x")),
+            b.assign(b.index("B", 1), b.sub(last, "y")),
+            b.assign(b.index("B", 2), b.add("v1", "v0")),
+            b.ret(last),
+        ]
+    )
+    return b.func(name, [("int", "x"), ("int", "y"), ("int[]", "B")], "int", body)
+
+
+#: name -> (builder, parameter signature tag) — the driver generator uses
+#: the tag to synthesise matching call sites.
+TEMPLATES = {
+    "accumulator_loop": (accumulator_loop, "izAB"),
+    "table_walker": (table_walker, "inAB2"),
+    "poly_mixer": (poly_mixer, "iiB"),
+    "float_curve": (float_curve, "f7nB"),
+    "rational_blend": (rational_blend, "f3B"),
+    "branch_cascade": (branch_cascade, "iiiB"),
+    "const_config": (const_config, "iB"),
+    "mod_scrambler": (mod_scrambler, "iiB"),
+    "linear_chain": (linear_chain, "iiB"),
+}

@@ -1,0 +1,143 @@
+"""AST helpers: traversal, structural equality, builders, cloning."""
+
+from repro.lang import ast, parse_program
+from repro.lang import builders as b
+from repro.lang.ast import structurally_equal, walk_exprs, walk_stmts
+from repro.lang.clone import clone_function, clone_program, clone_stmt
+from repro.lang.parser import parse_expression
+
+
+SRC = """
+func int f(int x) {
+    int s = 0;
+    for (int i = 0; i < x; i = i + 1) {
+        if (i % 2 == 0) {
+            s = s + i;
+        } else {
+            s = s - 1;
+        }
+    }
+    while (s > 10) {
+        s = s / 2;
+    }
+    return s;
+}
+"""
+
+
+def test_walk_stmts_visits_nested():
+    fn = parse_program(SRC).functions[0]
+    kinds = [type(s).__name__ for s in walk_stmts(fn.body)]
+    assert "For" in kinds and "If" in kinds and "While" in kinds
+    assert kinds.count("Assign") >= 4  # nested assigns found
+
+
+def test_walk_stmts_preorder():
+    fn = parse_program(SRC).functions[0]
+    stmts = list(walk_stmts(fn.body))
+    assert stmts[0] is fn.body[0]
+
+
+def test_walk_exprs_visits_all_subexpressions():
+    expr = parse_expression("f(a + b[i], c.d) * 2")
+    names = {e.name for e in walk_exprs(expr) if isinstance(e, ast.VarRef)}
+    assert names == {"a", "b", "i", "c"}
+
+
+def test_stmt_exprs_excludes_nested_statements():
+    fn = parse_program(SRC).functions[0]
+    loop = fn.body[1]  # for loop
+    top_exprs = list(ast.stmt_exprs(loop))
+    # only the loop condition's expressions, not the body's
+    names = {e.name for e in top_exprs if isinstance(e, ast.VarRef)}
+    assert names == {"i", "x"}
+
+
+def test_structural_equality_ignores_uids():
+    a = parse_expression("1 + x * 2")
+    c = parse_expression("1 + x * 2")
+    assert a.uid != c.uid
+    assert structurally_equal(a, c)
+
+
+def test_structural_inequality():
+    assert not structurally_equal(parse_expression("1 + 2"), parse_expression("1 - 2"))
+    assert not structurally_equal(parse_expression("x"), parse_expression("y"))
+
+
+def test_uids_unique():
+    program = parse_program(SRC)
+    uids = [s.uid for s in walk_stmts(program.functions[0].body)]
+    assert len(uids) == len(set(uids))
+
+
+def test_program_function_lookup():
+    program = parse_program(SRC + "class C { method int m() { return 1; } }")
+    assert program.function("f").name == "f"
+    assert program.function("C.m").owner == "C"
+    assert len(program.all_functions()) == 2
+
+
+def test_builders_produce_valid_ast():
+    fn = b.func(
+        "g",
+        [("int", "x")],
+        "int",
+        [
+            b.decl("int", "s", b.mul("x", 3)),
+            b.if_(b.gt("s", 10), [b.assign("s", 10)]),
+            b.ret("s"),
+        ],
+    )
+    program = b.program(functions=[fn])
+    from repro.lang.typecheck import check_program
+
+    check_program(program)
+
+
+def test_builders_coerce_python_values():
+    e = b.add(1, "x")
+    assert isinstance(e.left, ast.IntLit)
+    assert isinstance(e.right, ast.VarRef)
+    assert isinstance(b.lit(True), ast.BoolLit)
+    assert isinstance(b.lit(2.5), ast.FloatLit)
+
+
+def test_ty_spec_parsing():
+    assert isinstance(b.ty("int"), ast.IntType)
+    assert isinstance(b.ty("float[]"), ast.ArrayType)
+    assert isinstance(b.ty("Point"), ast.ClassType)
+    assert b.ty("void") is None
+
+
+def test_clone_is_structurally_equal_but_fresh():
+    fn = parse_program(SRC).functions[0]
+    copy = clone_function(fn)
+    assert structurally_equal(fn, copy)
+    assert copy.uid != fn.uid
+    assert copy.body[0] is not fn.body[0]
+
+
+def test_clone_program_deep():
+    program = parse_program(SRC + "global int g = 1;")
+    copy = clone_program(program)
+    assert structurally_equal(program, copy)
+    copy.functions[0].body[0].name = "renamed"
+    assert program.functions[0].body[0].name == "s"
+
+
+def test_clone_preserves_bindings():
+    from repro.lang.typecheck import check_program
+
+    program = parse_program("global int g = 0; func int f() { return g; }")
+    check_program(program)
+    copy = clone_function(program.functions[0])
+    ref = copy.body[0].value
+    assert ref.binding == "global"
+
+
+def test_is_scalar_type():
+    assert ast.is_scalar_type(ast.IntType())
+    assert ast.is_scalar_type(ast.BoolType())
+    assert not ast.is_scalar_type(ast.ArrayType(ast.IntType()))
+    assert not ast.is_scalar_type(ast.ClassType("C"))

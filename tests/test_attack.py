@@ -1,0 +1,149 @@
+"""Adversary simulation tests: trace collection and recovery techniques."""
+
+import random
+
+import pytest
+
+from repro.attack.driver import attack_ilp, attack_split_program, leaking_labels
+from repro.attack.linear import fit_linear
+from repro.attack.polynomial import fit_polynomial, monomials
+from repro.attack.rational import fit_rational
+from repro.attack.trace import ILPTrace, collect_traces
+from repro.lang import parse_program, check_program
+from repro.core.program import split_program
+from repro.runtime.splitrun import run_split
+
+
+def synthetic_trace(fn, n=40, n_vars=2, seed=0):
+    rng = random.Random(seed)
+    trace = ILPTrace("t", 0)
+    for _ in range(n):
+        xs = [rng.randint(-10, 10) for _ in range(n_vars)]
+        features = {"L0[%d]" % i: x for i, x in enumerate(xs)}
+        trace.add(features, fn(*xs))
+    return trace
+
+
+def test_fit_linear_recovers_linear():
+    result = fit_linear(synthetic_trace(lambda a, b: 3 * a - 2 * b + 7))
+    assert result.success
+    assert result.samples_used <= 6
+
+
+def test_fit_linear_rejects_quadratic():
+    result = fit_linear(synthetic_trace(lambda a, b: a * a + b))
+    assert not result.success
+
+
+def test_fit_polynomial_recovers_quadratic():
+    result = fit_polynomial(synthetic_trace(lambda a, b: a * a + 2 * a * b - b + 1), degree=2)
+    assert result.success
+
+
+def test_fit_polynomial_rejects_modular():
+    result = fit_polynomial(synthetic_trace(lambda a, b: (a * 17 + b) % 7), degree=3)
+    assert not result.success
+
+
+def test_fit_rational_recovers_rational():
+    result = fit_rational(
+        synthetic_trace(lambda a, b: (a + 2.0) / (b * b + 1.0)), degree=2
+    )
+    assert result.success
+
+
+def test_monomials_count():
+    # 2 vars, degree 2: 1, a, b, a^2, ab, b^2
+    assert len(monomials(2, 2)) == 6
+    assert monomials(2, 0) == [(0, 0)]
+
+
+def test_empty_trace_fails_gracefully():
+    trace = ILPTrace("t", 0)
+    assert not fit_linear(trace).success
+    assert not fit_polynomial(trace).success
+    assert not fit_rational(trace).success
+
+
+def test_attack_ilp_tries_in_escalating_order():
+    outcome = attack_ilp(synthetic_trace(lambda a, b: a * b))
+    assert outcome.broken
+    assert outcome.winning.technique == "poly2"
+    techniques = [a.technique for a in outcome.attempts]
+    assert techniques[0] == "linear"
+
+
+def test_attack_ilp_resists_arbitrary():
+    outcome = attack_ilp(synthetic_trace(lambda a, b: (a + b) % 5))
+    assert not outcome.broken
+    assert outcome.samples_needed is None
+
+
+SOURCE = """
+func int f(int x, int y, int[] B) {
+    int a = 3 * x + y;
+    int q = a * a;
+    B[0] = a;
+    B[1] = q;
+    return q + 1;
+}
+func void main(int x, int y) {
+    int[] B = new int[4];
+    print(f(x, y, B));
+}
+"""
+
+
+def split():
+    program = parse_program(SOURCE)
+    checker = check_program(program)
+    return split_program(program, checker, [("f", "a")])
+
+
+def test_collect_traces_from_transcript():
+    sp = split()
+    result = run_split(sp, args=(2, 3))
+    targets = leaking_labels(sp)
+    traces = collect_traces(result.channel.transcript, targets)
+    assert set(traces) == set(targets)
+    assert all(len(t) == 1 for t in traces.values())  # one call each
+
+
+def test_trace_features_are_prior_sends():
+    sp = split()
+    result = run_split(sp, args=(2, 3))
+    targets = leaking_labels(sp)
+    traces = collect_traces(result.channel.transcript, targets)
+    # the B[0]=a leak happens after the set-up send of (x, y): its features
+    # must include those slots
+    some_trace = max(traces.values(), key=lambda t: len(t.feature_names))
+    assert len(some_trace.feature_names) >= 2
+
+
+def test_attack_split_program_end_to_end():
+    sp = split()
+    rng = random.Random(1)
+    runs = [(rng.randint(-9, 9), rng.randint(-9, 9)) for _ in range(40)]
+    outcomes = attack_split_program(sp, runs)
+    assert outcomes
+    by_technique = {o.winning.technique for o in outcomes.values() if o.broken}
+    # the linear leak (B[0]=a) must fall to linear regression; the quadratic
+    # one (B[1]=q) needs polynomial interpolation
+    assert "linear" in by_technique
+    assert any(t.startswith("poly") for t in by_technique)
+
+
+def test_trace_matrix_missing_features_default_zero():
+    trace = ILPTrace("t", 0)
+    trace.add({"A": 1}, 10)
+    trace.add({"A": 2, "B": 5}, 20)
+    xs, ys = trace.matrix()
+    assert xs == [[1, 0], [2, 5]]
+    assert ys == [10, 20]
+
+
+def test_trace_ignores_bool_results_as_ints():
+    trace = ILPTrace("t", 0)
+    trace.add({}, True)
+    _, ys = trace.matrix()
+    assert ys == [True] or ys == [1]

@@ -1,0 +1,65 @@
+"""Bytecode-size estimation tests."""
+
+from repro.analysis.bytecodesize import bytecode_size, expr_cost, stmt_cost
+from repro.analysis.selfcontained import analyze_self_contained
+from repro.lang import parse_program
+from repro.lang.parser import parse_expression
+
+
+def fn_of(source):
+    return parse_program(source).all_functions()[0]
+
+
+def test_expression_costs():
+    assert expr_cost(parse_expression("1")) == 1
+    assert expr_cost(parse_expression("x")) == 1
+    assert expr_cost(parse_expression("x + 1")) == 3  # load, const, add
+    assert expr_cost(parse_expression("x < y")) == 4  # two loads, cmp, push
+    assert expr_cost(parse_expression("A[i]")) == 3  # aload, iload, iaload
+    assert expr_cost(parse_expression("f(x, y)")) == 3  # two loads + invoke
+    assert expr_cost(parse_expression("new C()")) == 3
+
+
+def test_statement_costs():
+    fn = fn_of("func int f(int x) { int a = x + 1; return a; }")
+    decl, ret = fn.body
+    assert stmt_cost(decl) == 4  # load, const, add, store
+    assert stmt_cost(ret) == 2  # load, ireturn
+
+
+def test_loop_cost_includes_branches():
+    fn = fn_of("func void f(int n) { int i = 0; while (i < n) { i = i + 1; } }")
+    loop = fn.body[1]
+    # cond (4) + 2 branch overhead + body (4)
+    assert stmt_cost(loop) == 10
+
+
+def test_bytecode_size_monotone_in_body():
+    small = fn_of("func int f(int x) { return x; }")
+    large = fn_of(
+        "func int f(int x) { int a = x * 2; int b = a + 3; int c = b - x; return c; }"
+    )
+    assert bytecode_size(large) > bytecode_size(small)
+
+
+def test_table1_bytecode_metric():
+    source = """
+    class C {
+        field int a;
+        method int tiny(int x) { return x; }
+        method int beefy(int x, int y) {
+            int t0 = x * y + 3;
+            int t1 = t0 * 2 - x;
+            int t2 = t1 + t0 * y;
+            int t3 = t2 - t1 + 7;
+            int t4 = t3 * t0;
+            return t4;
+        }
+    }
+    """
+    program = parse_program(source)
+    by_stmt = analyze_self_contained(program, min_statements=5)
+    by_bc = analyze_self_contained(program, min_statements=25, metric="bytecode")
+    # both metrics keep the beefy method and drop the tiny one
+    assert {f.name for f in by_stmt.large} == {"beefy"}
+    assert {f.name for f in by_bc.large} == {"beefy"}

@@ -1,0 +1,124 @@
+"""Call graph, recursion detection, loop-call detection, cut selection."""
+
+from repro.lang import parse_program, check_program
+from repro.analysis.callgraph import build_callgraph, select_cut
+
+
+def graph(source):
+    program = parse_program(source)
+    checker = check_program(program)
+    return build_callgraph(program, checker)
+
+
+def test_simple_edges():
+    cg = graph(
+        "func int a() { return b() + c(); } func int b() { return 1; } "
+        "func int c() { return 2; } func void main() { print(a()); }"
+    )
+    assert cg.callees["a"] == {"b", "c"}
+    assert cg.callers["b"] == {"a"}
+
+
+def test_method_resolution_by_receiver_type():
+    cg = graph(
+        """
+        class P { method int m() { return 1; } }
+        class Q { method int m() { return 2; } }
+        func void main() { P p = new P(); print(p.m()); }
+        """
+    )
+    assert "P.m" in cg.callees["main"]
+    assert "Q.m" not in cg.callees["main"]
+
+
+def test_same_class_free_call_resolution():
+    cg = graph(
+        """
+        class C {
+            method int helper() { return 1; }
+            method int driver() { return helper(); }
+        }
+        """
+    )
+    assert cg.callees["C.driver"] == {"C.helper"}
+
+
+def test_builtins_excluded():
+    cg = graph("func float f(float x) { return sqrt(x); }")
+    assert cg.callees["f"] == set()
+
+
+def test_direct_recursion_detected():
+    cg = graph("func int f(int n) { if (n < 1) { return 0; } return f(n - 1); }")
+    assert cg.recursive_functions() == {"f"}
+
+
+def test_indirect_recursion_detected():
+    cg = graph(
+        "func int a(int n) { return b(n); } func int b(int n) { if (n < 1) "
+        "{ return 0; } return a(n - 1); } func void main() { print(a(3)); }"
+    )
+    assert cg.recursive_functions() == {"a", "b"}
+
+
+def test_non_recursive_clean():
+    cg = graph("func int a() { return b(); } func int b() { return 1; }")
+    assert cg.recursive_functions() == set()
+
+
+def test_called_in_loop():
+    cg = graph(
+        "func int w() { return 1; } func int s() { return 2; } "
+        "func void main() { int i = 0; while (i < 3) { print(w()); i = i + 1; } print(s()); }"
+    )
+    assert "w" in cg.called_in_loop
+    assert "s" not in cg.called_in_loop
+
+
+def test_called_in_for_update_counts_as_loop():
+    cg = graph(
+        "func int step(int i) { return i + 1; } "
+        "func void main() { for (int i = 0; i < 3; i = step(i)) { } }"
+    )
+    assert "step" in cg.called_in_loop
+
+
+def test_reachable_from():
+    cg = graph(
+        "func int a() { return b(); } func int b() { return 1; } "
+        "func int orphan() { return 9; } func void main() { print(a()); }"
+    )
+    assert cg.reachable_from("main") == {"main", "a", "b"}
+
+
+def test_cut_selects_first_eligible_layer():
+    cg = graph(
+        "func int leaf() { return 1; } "
+        "func int mid() { return leaf(); } "
+        "func void main() { print(mid()); }"
+    )
+    assert select_cut(cg) == ["mid"]
+
+
+def test_cut_skips_loop_called_and_recursive():
+    cg = graph(
+        """
+        func int rec(int n) { if (n < 1) { return 0; } return rec(n - 1); }
+        func int inner() { return 1; }
+        func int loopy() { return inner(); }
+        func void main() {
+            int i = 0;
+            while (i < 2) { print(loopy()); i = i + 1; }
+            print(rec(3));
+        }
+        """
+    )
+    cut = select_cut(cg)
+    assert "loopy" not in cut
+    assert "rec" not in cut
+    assert "inner" in cut  # eligible once past the ineligible frontier
+
+
+def test_cut_falls_back_to_entry():
+    cg = graph("func void main() { print(1); }")
+    assert select_cut(cg) == ["main"]

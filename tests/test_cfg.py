@@ -1,0 +1,131 @@
+"""CFG construction tests."""
+
+from repro.lang import ast, parse_program
+from repro.analysis.cfg import build_cfg
+
+
+def cfg_of(body_src, params="int x"):
+    program = parse_program("func void t(%s) { %s }" % (params, body_src))
+    return build_cfg(program.functions[0]), program.functions[0]
+
+
+def succs(node):
+    return node.succ_nodes()
+
+
+def test_straight_line():
+    cfg, fn = cfg_of("int a = 1; int b = 2;")
+    a = cfg.node_of_stmt[fn.body[0]]
+    b = cfg.node_of_stmt[fn.body[1]]
+    assert succs(cfg.entry) == [a]
+    assert succs(a) == [b]
+    assert succs(b) == [cfg.exit]
+
+
+def test_if_diamond():
+    cfg, fn = cfg_of("int a = 0; if (x > 0) { a = 1; } else { a = 2; } int b = a;")
+    cond = cfg.node_of_stmt[fn.body[1]]
+    then_n = cfg.node_of_stmt[fn.body[1].then_body[0]]
+    else_n = cfg.node_of_stmt[fn.body[1].else_body[0]]
+    join = cfg.node_of_stmt[fn.body[2]]
+    labels = dict((n, l) for n, l in cond.succs)
+    assert labels[then_n] is True
+    assert labels[else_n] is False
+    assert succs(then_n) == [join]
+    assert succs(else_n) == [join]
+
+
+def test_if_without_else_falls_through():
+    cfg, fn = cfg_of("if (x > 0) { x = 1; } int b = 2;")
+    cond = cfg.node_of_stmt[fn.body[0]]
+    after = cfg.node_of_stmt[fn.body[1]]
+    assert after in succs(cond)  # false edge
+    then_n = cfg.node_of_stmt[fn.body[0].then_body[0]]
+    assert succs(then_n) == [after]
+
+
+def test_while_back_edge():
+    cfg, fn = cfg_of("while (x > 0) { x = x - 1; } int b = 2;")
+    cond = cfg.node_of_stmt[fn.body[0]]
+    body_n = cfg.node_of_stmt[fn.body[0].body[0]]
+    after = cfg.node_of_stmt[fn.body[1]]
+    assert succs(body_n) == [cond]
+    assert set(succs(cond)) == {body_n, after}
+
+
+def test_for_loop_structure():
+    cfg, fn = cfg_of("for (int i = 0; i < x; i = i + 1) { print(i); } int b = 2;")
+    loop = fn.body[0]
+    init = cfg.node_of_stmt[loop.init]
+    cond = cfg.node_of_stmt[loop]
+    update = cfg.node_of_stmt[loop.update]
+    body_n = cfg.node_of_stmt[loop.body[0]]
+    assert succs(init) == [cond]
+    assert body_n in succs(cond)
+    assert succs(body_n) == [update]
+    assert succs(update) == [cond]
+
+
+def test_return_goes_to_exit():
+    program = parse_program("func int t(int x) { if (x > 0) { return 1; } return 2; }")
+    fn = program.functions[0]
+    cfg = build_cfg(fn)
+    ret1 = cfg.node_of_stmt[fn.body[0].then_body[0]]
+    ret2 = cfg.node_of_stmt[fn.body[1]]
+    assert succs(ret1) == [cfg.exit]
+    assert succs(ret2) == [cfg.exit]
+
+
+def test_break_leaves_loop():
+    cfg, fn = cfg_of("while (x > 0) { if (x == 5) { break; } x = x - 1; } int b = 1;")
+    loop = fn.body[0]
+    brk = cfg.node_of_stmt[loop.body[0].then_body[0]]
+    after = cfg.node_of_stmt[fn.body[1]]
+    assert succs(brk) == [after]
+
+
+def test_continue_returns_to_condition():
+    cfg, fn = cfg_of("while (x > 0) { if (x == 5) { continue; } x = x - 1; }")
+    loop = fn.body[0]
+    cond = cfg.node_of_stmt[loop]
+    cont = cfg.node_of_stmt[loop.body[0].then_body[0]]
+    assert succs(cont) == [cond]
+
+
+def test_continue_in_for_goes_to_update():
+    cfg, fn = cfg_of(
+        "for (int i = 0; i < x; i = i + 1) { if (i == 2) { continue; } print(i); }"
+    )
+    loop = fn.body[0]
+    update = cfg.node_of_stmt[loop.update]
+    cont = cfg.node_of_stmt[loop.body[0].then_body[0]]
+    assert succs(cont) == [update]
+
+
+def test_unreachable_code_after_return():
+    program = parse_program("func int t() { return 1; print(2); }")
+    cfg = build_cfg(program.functions[0])
+    # unreachable statements are simply not materialised in the CFG
+    print_stmt = program.functions[0].body[1]
+    assert print_stmt not in cfg.node_of_stmt
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg, _fn = cfg_of("int a = 1; while (x > 0) { x = x - 1; }")
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] is cfg.entry
+    assert len(rpo) == len(cfg.nodes)
+
+
+def test_nested_blocks_transparent():
+    cfg, fn = cfg_of("{ int a = 1; { int b = 2; } } int c = 3;")
+    inner = fn.body[0].body[1].body[0]
+    node = cfg.node_of_stmt[inner]
+    after = cfg.node_of_stmt[fn.body[1]]
+    assert succs(node) == [after]
+
+
+def test_cond_nodes_marked():
+    cfg, fn = cfg_of("if (x > 0) { } while (x > 1) { break; }")
+    assert cfg.node_of_stmt[fn.body[0]].kind == "cond"
+    assert cfg.node_of_stmt[fn.body[1]].kind == "cond"

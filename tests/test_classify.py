@@ -1,0 +1,96 @@
+"""Empirical classification tests, including the estimator cross-check
+(static lower bound vs. observed class)."""
+
+import random
+
+from repro.attack.classify import (
+    classify_trace,
+    consistent_with_estimate,
+    validate_estimator,
+)
+from repro.attack.trace import ILPTrace
+from repro.core.program import split_program
+from repro.lang import parse_program, check_program
+from repro.security.lattice import AC, CType
+
+
+def synthetic_trace(fn, n=50, n_vars=2, seed=3):
+    rng = random.Random(seed)
+    trace = ILPTrace("t", 0)
+    for _ in range(n):
+        xs = [rng.randint(-10, 10) for _ in range(n_vars)]
+        trace.add({"L0[%d]" % i: x for i, x in enumerate(xs)}, fn(*xs))
+    return trace
+
+
+def test_classify_constant():
+    result = classify_trace(synthetic_trace(lambda a, b: 42))
+    assert result.type == CType.CONSTANT
+
+
+def test_classify_linear():
+    result = classify_trace(synthetic_trace(lambda a, b: 2 * a - b + 1))
+    assert result.type == CType.LINEAR
+    assert result.degree == 1
+
+
+def test_classify_polynomial_with_degree():
+    result = classify_trace(synthetic_trace(lambda a, b: a * a * b + 1))
+    assert result.type == CType.POLYNOMIAL
+    assert result.degree == 3
+
+
+def test_classify_rational():
+    result = classify_trace(
+        synthetic_trace(lambda a, b: (2.0 * a + 1.0) / (b * b + 3.0))
+    )
+    assert result.type == CType.RATIONAL
+
+
+def test_classify_arbitrary():
+    result = classify_trace(synthetic_trace(lambda a, b: (a * 31 + b) % 13))
+    assert result.type == CType.ARBITRARY
+
+
+def test_consistency_rule():
+    linear_static = AC(CType.LINEAR, {"x"}, 1)
+    poly_emp = classify_trace(synthetic_trace(lambda a, b: a * a))
+    assert consistent_with_estimate(poly_emp, linear_static)  # above bound: fine
+    const_emp = classify_trace(synthetic_trace(lambda a, b: 7))
+    assert not consistent_with_estimate(const_emp, linear_static)  # below: bad
+
+
+def test_validate_estimator_on_straightline_program():
+    # single-path program: every static estimate must hold empirically
+    source = """
+    func int f(int x, int y, int[] B) {
+        int lin = 4 * x + y;
+        int quad = lin * lin;
+        int fixed = 9;
+        B[0] = lin + 1;
+        B[1] = quad;
+        B[2] = fixed;
+        return quad + lin;
+    }
+    func int run(int x, int y) {
+        int[] B = new int[4];
+        return f(x, y, B);
+    }
+    func void main() { print(run(1, 1)); }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "lin")])
+    rng = random.Random(11)
+    runs = [(rng.randint(-9, 9), rng.randint(-9, 9)) for _ in range(60)]
+    report = validate_estimator(sp, checker, runs, entry="run")
+    assert report
+    for fn_name, label, static_ac, empirical, ok in report:
+        assert ok, (
+            "estimator over-claimed at %s#%d: static %r vs empirical %r"
+            % (fn_name, label, static_ac, empirical)
+        )
+    # and the interesting classes actually showed up
+    types = {e.type for _, _, _, e, _ in report}
+    assert CType.LINEAR in types
+    assert CType.POLYNOMIAL in types or CType.ARBITRARY in types

@@ -1,0 +1,174 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+func int f(int x, int y, int[] B) {
+    int a = 3 * x + y;
+    int q = a * a;
+    B[0] = a + 1;
+    B[1] = q;
+    return q;
+}
+func void main(int x, int y) {
+    int[] B = new int[4];
+    print(f(x, y, B));
+    print(B[0]);
+}
+"""
+
+
+@pytest.fixture
+def prog_file(tmp_path):
+    path = tmp_path / "prog.mj"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_run(prog_file):
+    code, out = run_cli(["run", prog_file, "--args", "2", "3"])
+    assert code == 0
+    assert out.splitlines()[0] == "81"  # (3*2+3)^2
+    assert "statements executed" in out
+
+
+def test_run_float_args(prog_file, tmp_path):
+    path = tmp_path / "fl.mj"
+    path.write_text("func void main(float x) { print(x * 2.0); }")
+    code, out = run_cli(["run", str(path), "--args", "1.5"])
+    assert code == 0
+    assert out.splitlines()[0] == "3"
+
+
+def test_split_auto(prog_file):
+    code, out = run_cli(["split", prog_file])
+    assert code == 0
+    assert "split of f on variable" in out
+    assert "hcall(" in out
+
+
+def test_split_explicit_with_fragments(prog_file):
+    code, out = run_cli(
+        ["split", prog_file, "--function", "f", "--var", "a", "--show-fragments"]
+    )
+    assert code == 0
+    assert "hidden component" in out
+    assert "fragment 0" in out
+
+
+def test_run_split_verifies_and_reports(prog_file):
+    code, out = run_cli(["run-split", prog_file, "--args", "2", "3"])
+    assert code == 0
+    assert "split verified equivalent" in out
+    assert out.splitlines()[0] == "81"
+
+
+def test_run_split_latency_choice(prog_file):
+    _, lan_out = run_cli(["run-split", prog_file, "--args", "1", "1", "--latency", "lan"])
+    _, card_out = run_cli(["run-split", prog_file, "--args", "1", "1", "--latency", "card"])
+
+    def channel_ms(text):
+        for token in text.split(","):
+            if "ms channel time" in token:
+                return float(token.split()[0])
+        raise AssertionError(text)
+
+    assert channel_ms(card_out) > channel_ms(lan_out)
+
+
+def test_analyze(prog_file):
+    code, out = run_cli(["analyze", prog_file])
+    assert code == 0
+    assert "ILP security characterisation" in out
+    assert "Linear" in out or "Polynomial" in out
+    assert "type histogram" in out
+
+
+def test_table1(prog_file):
+    code, out = run_cli(["table1", prog_file])
+    assert code == 0
+    assert "Number of Methods" in out
+
+
+def test_attack(prog_file):
+    code, out = run_cli(["attack", prog_file, "--runs", "30"])
+    assert code == 0
+    assert "Recovery attempts" in out
+    assert "BROKEN" in out  # the linear leak falls
+
+
+def test_parse_error_reported(tmp_path):
+    path = tmp_path / "bad.mj"
+    path.write_text("func int broken( { }")
+    code, out = run_cli(["run", str(path)])
+    assert code == 2
+    assert "error:" in out
+
+
+def test_missing_file():
+    code, out = run_cli(["run", "/nonexistent/prog.mj"])
+    assert code == 2
+    assert "error:" in out
+
+
+def test_split_nothing_to_split(tmp_path):
+    path = tmp_path / "plain.mj"
+    path.write_text("func void main() { print(1); }")
+    code, out = run_cli(["split", str(path)])
+    assert code == 1
+    assert "nothing was split" in out
+
+
+def test_export_manifest(prog_file, tmp_path):
+    out_path = str(tmp_path / "manifest.json")
+    code, out = run_cli(["export", prog_file, "-o", out_path])
+    assert code == 0
+    import json
+
+    from repro.core.deploy import import_split
+    from repro.runtime.splitrun import run_split
+
+    with open(out_path) as f:
+        manifest = json.load(f)
+    deployed = import_split(manifest)
+    result = run_split(deployed, args=(2, 3))
+    assert result.output[0] == "81"
+
+
+def test_lint_clean(prog_file):
+    code, out = run_cli(["lint", prog_file])
+    assert code == 0
+    assert "no findings" in out
+
+
+def test_lint_findings(tmp_path):
+    path = tmp_path / "dirty.mj"
+    path.write_text(
+        "func int f(int x) { int ghost; int t = x; t = 1; return t; }"
+        "func void main() { print(f(1)); }"
+    )
+    code, out = run_cli(["lint", str(path)])
+    assert code == 1
+    assert "unused-variable" in out
+    assert "dead-store" in out
+
+
+def test_lint_split_quality(tmp_path):
+    path = tmp_path / "weak.mj"
+    path.write_text(
+        "func int f(int x, int[] B) { int a = x + 1; B[0] = a; return a; }"
+        "func void main(int x) { int[] B = new int[2]; print(f(x, B)); }"
+    )
+    code, out = run_cli(["lint", str(path), "--split"])
+    assert code == 1
+    assert "weak-protection" in out

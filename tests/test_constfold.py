@@ -1,0 +1,136 @@
+"""Constant folding tests: unit rules + semantic preservation properties."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.constfold import fold_expr, fold_program
+from repro.core.program import split_program
+from repro.core.selection import splittable_variables
+from repro.core.splitter import SplitError
+from repro.analysis.function import analyze_function
+from repro.lang import ast, parse_program, check_program
+from repro.lang.parser import parse_expression
+from repro.lang.pretty import pretty_expr
+from repro.runtime.splitrun import check_equivalence, run_original
+
+from tests.genprograms import programs
+
+
+def folded(source):
+    return pretty_expr(fold_expr(parse_expression(source)))
+
+
+def test_literal_arithmetic():
+    assert folded("2 + 3 * 4") == "14"
+    assert folded("(2 + 3) * 4") == "20"
+    assert folded("10 / 4") == "2"  # Java truncation
+    assert folded("0 - 7 / 2") == "-3"
+    assert folded("7 % 3") == "1"
+
+
+def test_float_arithmetic():
+    assert folded("1.5 * 2.0") == "3.0"
+    assert folded("1 + 0.5") == "1.5"
+
+
+def test_boolean_folding():
+    assert folded("true && false") == "false"
+    assert folded("1 < 2") == "true"
+    assert folded("!true") == "false"
+    assert folded("3 == 3.0") == "true"
+
+
+def test_short_circuit_with_literal_left():
+    assert folded("true && x > 0") == "x > 0"
+    assert folded("false && f(x)") == "false"
+    assert folded("true || f(x)") == "true"
+    assert folded("false || x > 0") == "x > 0"
+
+
+def test_division_by_zero_left_unfolded():
+    assert folded("1 / 0") == "1 / 0"
+    assert folded("1 % 0") == "1 % 0"
+
+
+def test_identities():
+    assert folded("x + 0") == "x"
+    assert folded("0 + x") == "x"
+    assert folded("x - 0") == "x"
+    assert folded("x * 1") == "x"
+    assert folded("1 * x") == "x"
+    assert folded("x / 1") == "x"
+
+
+def test_mul_zero_not_folded():
+    # A[9] * 0 may fault: the multiply must survive
+    assert folded("A[9] * 0") == "A[9] * 0"
+    assert folded("x * 0") == "x * 0"
+
+
+def test_double_negation():
+    assert folded("--x") == "x" or folded("-(-x)") == "x"
+    assert folded("!!b") == "b" or folded("!(!b)") == "b"
+
+
+def test_nested_partial_folding():
+    assert folded("x + (2 * 3)") == "x + 6"
+    assert folded("f(1 + 1)") == "f(2)"
+
+
+def test_branch_pruning():
+    program = parse_program(
+        "func int f(int x) { if (1 < 2) { return x; } else { return 0; } }"
+    )
+    result = fold_program(program)
+    body = result.functions[0].body
+    assert isinstance(body[0], ast.Block)
+    assert isinstance(body[0].body[0], ast.Return)
+
+
+def test_dead_while_removed():
+    program = parse_program("func void f(int x) { while (false) { print(x); } print(1); }")
+    result = fold_program(program)
+    kinds = [type(s).__name__ for s in result.functions[0].body]
+    assert kinds == ["Print"]
+
+
+def test_for_with_false_condition_keeps_init():
+    program = parse_program(
+        "func int f() { int keep = 0; for (keep = 5; 1 > 2; keep = keep + 1) { } return keep; }"
+    )
+    result = fold_program(program)
+    out = run_original(result, entry="f")
+    assert out.value == 5
+
+
+def test_original_program_not_mutated():
+    program = parse_program("func int f() { return 1 + 2; }")
+    fold_program(program)
+    assert isinstance(program.functions[0].body[0].value, ast.BinaryOp)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_folding_preserves_behaviour(program):
+    result = fold_program(program)
+    for args in [(0, 0), (4, -3), (9, 9)]:
+        before = run_original(program, args=args)
+        after = run_original(result, args=args)
+        assert after.output == before.output
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_fold_then_split_still_equivalent(program):
+    result = fold_program(program)
+    checker = check_program(result)
+    fn = result.function("f")
+    analysis = analyze_function(fn, checker)
+    variables = splittable_variables(fn, analysis)
+    if not variables:
+        return
+    try:
+        sp = split_program(result, checker, [("f", variables[0])])
+    except SplitError:
+        return
+    for args in [(1, 2), (-5, 8)]:
+        check_equivalence(result, sp, args=args)

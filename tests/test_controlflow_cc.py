@@ -1,0 +1,123 @@
+"""Control-flow complexity (CC triple) tests."""
+
+from repro.lang import parse_program, check_program
+from repro.analysis.function import analyze_function
+from repro.core.program import split_program
+from repro.security.controlflow import control_flow_complexity
+from repro.security.estimator import estimate_split_complexities
+
+
+def ccs(source, fn_name, var):
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = split_program(program, checker, [(fn_name, var)])
+    fn = program.function(fn_name)
+    analysis = analyze_function(fn, checker)
+    split = sp.splits[fn_name]
+    results = estimate_split_complexities(split, analysis)
+    for c in results:
+        c.cc = control_flow_complexity(c.ilp, split, analysis)
+    return results
+
+
+def test_straight_line_is_open_single_path():
+    results = ccs(
+        "func void f(int x, int[] B) { int a = x + 1; B[0] = a; }", "f", "a"
+    )
+    (c,) = results
+    assert c.cc.paths == 1
+    assert c.cc.predicates == "open"
+    assert c.cc.flow == "open"
+
+
+def test_hidden_loop_gives_variable_paths_hidden_flow():
+    results = ccs(
+        """
+        func int f(int x, int z, int[] B) {
+            int a = x + 1;
+            int i = a;
+            int s = 0;
+            while (i < z) { s = s + i; i = i + 1; }
+            return s;
+        }
+        """,
+        "f",
+        "a",
+    )
+    ret = [c for c in results if c.ilp.kind == "return"][0]
+    assert ret.cc.paths_variable
+    assert ret.cc.predicates == "hidden"
+    assert ret.cc.flow == "hidden"
+
+
+def test_constant_trip_loop_constant_paths():
+    results = ccs(
+        """
+        func int f(int x, int[] B) {
+            int a = x + 1;
+            int s = a;
+            for (int i = 0; i < 4; i = i + 1) { s = s + a; }
+            return s;
+        }
+        """,
+        "f",
+        "a",
+    )
+    ret = [c for c in results if c.ilp.kind == "return"][0]
+    assert not ret.cc.paths_variable
+    assert ret.cc.paths == 4
+    assert ret.cc.flow == "hidden"  # the whole for loop moved to Hf
+
+
+def test_pred_fragment_marks_predicates_hidden():
+    results = ccs(
+        """
+        func int f(int x, int[] B) {
+            int a = x * 2;
+            int r = 0;
+            if (a > 10) { B[0] = a; r = 1; }
+            return r;
+        }
+        """,
+        "f",
+        "a",
+    )
+    pred = [c for c in results if c.ilp.kind == "pred"][0]
+    assert pred.cc.predicates == "hidden"
+
+
+def test_open_branch_stays_open():
+    # the branch condition reads only open values: nothing hidden about it
+    results = ccs(
+        """
+        func void f(int x, int y, int[] B) {
+            int a = x + 1;
+            if (y > 0) { B[0] = a; } else { B[1] = a + 2; }
+        }
+        """,
+        "f",
+        "a",
+    )
+    for c in results:
+        assert c.cc.predicates == "open"
+        assert c.cc.flow == "open"
+        assert c.cc.paths == 2  # controlled by the open branch
+
+
+def test_fully_hidden_branch_hides_predicate_and_flow():
+    results = ccs(
+        """
+        func int f(int x, int[] B) {
+            int a = x + 1;
+            int s = 0;
+            if (a > 5) { s = a * 2; } else { s = a - 1; }
+            return s;
+        }
+        """,
+        "f",
+        "a",
+    )
+    ret = [c for c in results if c.ilp.kind == "return"][0]
+    assert ret.cc.predicates == "hidden"
+    assert ret.cc.flow == "hidden"
+    assert ret.cc.paths == 2

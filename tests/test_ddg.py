@@ -1,0 +1,97 @@
+"""Data dependence graph tests: loop-carried edges and recurrences."""
+
+from repro.lang import parse_program
+from repro.analysis.cfg import build_cfg
+from repro.analysis.ddg import build_ddg, exits_loop
+from repro.analysis.defuse import compute_defuse
+from repro.analysis.loops import find_loops
+
+
+def setup(body_src, params="int x, int n"):
+    program = parse_program("func void t(%s) { %s }" % (params, body_src))
+    fn = program.functions[0]
+    cfg = build_cfg(fn)
+    defuse = compute_defuse(cfg)
+    loops = find_loops(cfg)
+    ddg = build_ddg(cfg, defuse, loops)
+    return cfg, fn, defuse, loops, ddg
+
+
+def def_at(defuse, cfg, stmt, name):
+    node = cfg.node_of_stmt[stmt]
+    for d in defuse.defs_at[node]:
+        if d.name == name:
+            return d
+    raise AssertionError("no def of %r" % name)
+
+
+LOOP_SRC = "int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } print(s);"
+
+
+def test_edges_cover_def_use_chains():
+    cfg, fn, defuse, loops, ddg = setup("int a = 1; int b = a + a;")
+    d_a = def_at(defuse, cfg, fn.body[0], "a")
+    assert len(ddg.deps_from_def(d_a)) >= 1
+
+
+def test_loop_carried_self_edge():
+    cfg, fn, defuse, loops, ddg = setup(LOOP_SRC)
+    loop = fn.body[2]
+    d_s = def_at(defuse, cfg, loop.body[0], "s")
+    self_deps = [dep for dep in ddg.deps_from_def(d_s) if dep.u.node is d_s.node]
+    assert self_deps and self_deps[0].loop_carried
+
+
+def test_forward_edge_not_loop_carried():
+    cfg, fn, defuse, loops, ddg = setup("int a = 1; int b = a;")
+    d_a = def_at(defuse, cfg, fn.body[0], "a")
+    for dep in ddg.deps_from_def(d_a):
+        assert not dep.loop_carried
+
+
+def test_exits_loop_for_escaping_value():
+    cfg, fn, defuse, loops, ddg = setup(LOOP_SRC)
+    loop_stmt = fn.body[2]
+    d_s = def_at(defuse, cfg, loop_stmt.body[0], "s")
+    print_stmt = fn.body[3]
+    escaping = [dep for dep in ddg.deps_from_def(d_s) if dep.u.node is cfg.node_of_stmt[print_stmt]]
+    assert escaping
+    crossed = exits_loop(escaping[0], loops)
+    assert len(crossed) == 1
+
+
+def test_exits_loop_empty_inside():
+    cfg, fn, defuse, loops, ddg = setup(LOOP_SRC)
+    loop_stmt = fn.body[2]
+    d_s = def_at(defuse, cfg, loop_stmt.body[0], "s")
+    inner = [dep for dep in ddg.deps_from_def(d_s) if dep.u.node is d_s.node]
+    assert exits_loop(inner[0], loops) == []
+
+
+def test_recurrent_defs_found():
+    cfg, fn, defuse, loops, ddg = setup(LOOP_SRC)
+    loop = loops[0]
+    recurrent = ddg.recurrent_defs(loop)
+    names = {d.name for d in recurrent}
+    assert names == {"s", "i"}
+
+
+def test_non_recurrent_loop_def():
+    cfg, fn, defuse, loops, ddg = setup(
+        "int t = 0; int i = 0; while (i < n) { t = x * 2; i = i + 1; } print(t);"
+    )
+    loop = loops[0]
+    recurrent = ddg.recurrent_defs(loop)
+    names = {d.name for d in recurrent}
+    assert "t" not in names  # t does not feed itself
+    assert "i" in names
+
+
+def test_mutual_recurrence():
+    cfg, fn, defuse, loops, ddg = setup(
+        "int a = 1; int b = 2; int i = 0; "
+        "while (i < n) { a = b + 1; b = a + 1; i = i + 1; }"
+    )
+    loop = loops[0]
+    names = {d.name for d in ddg.recurrent_defs(loop)}
+    assert {"a", "b"} <= names

@@ -1,0 +1,115 @@
+"""Reaching definitions and def-use chain tests."""
+
+from repro.lang import parse_program
+from repro.analysis.cfg import build_cfg
+from repro.analysis.defuse import compute_defuse, stmt_defs_uses
+
+
+def setup(body_src, params="int x, int[] A"):
+    program = parse_program("func void t(%s) { %s }" % (params, body_src))
+    fn = program.functions[0]
+    cfg = build_cfg(fn)
+    return cfg, fn, compute_defuse(cfg)
+
+
+def defs_reaching_use(info, cfg, stmt, name):
+    node = cfg.node_of_stmt[stmt]
+    for use in info.uses_at[node]:
+        if use.name == name:
+            return info.reaching_defs(use)
+    raise AssertionError("no use of %r at %r" % (name, stmt))
+
+
+def test_stmt_defs_uses_extraction():
+    program = parse_program("func void t(int[] A) { int a = 1; A[a] = a + 2; }")
+    decl, store = program.functions[0].body
+    defs, uses, rhs = stmt_defs_uses(decl)
+    assert defs == [("a", True)]
+    assert uses == []
+    defs, uses, _ = stmt_defs_uses(store)
+    assert defs == [("A", False)]  # weak def
+    assert sorted(uses) == ["a", "a"]
+
+
+def test_single_reaching_def():
+    cfg, fn, info = setup("int a = 1; int b = a;")
+    reaching = defs_reaching_use(info, cfg, fn.body[1], "a")
+    assert len(reaching) == 1
+    assert reaching[0].node is cfg.node_of_stmt[fn.body[0]]
+
+
+def test_kill_by_redefinition():
+    cfg, fn, info = setup("int a = 1; a = 2; int b = a;")
+    reaching = defs_reaching_use(info, cfg, fn.body[2], "a")
+    assert len(reaching) == 1
+    assert reaching[0].node is cfg.node_of_stmt[fn.body[1]]
+
+
+def test_merge_at_join():
+    cfg, fn, info = setup("int a = 1; if (x > 0) { a = 2; } int b = a;")
+    reaching = defs_reaching_use(info, cfg, fn.body[2], "a")
+    assert len(reaching) == 2
+
+
+def test_loop_carried_reaching_def():
+    cfg, fn, info = setup("int s = 0; while (x > 0) { s = s + 1; x = x - 1; }")
+    inner = fn.body[1].body[0]
+    reaching = defs_reaching_use(info, cfg, inner, "s")
+    nodes = {d.node for d in reaching}
+    assert cfg.node_of_stmt[fn.body[0]] in nodes  # initial def
+    assert cfg.node_of_stmt[inner] in nodes  # itself, around the back edge
+
+
+def test_weak_def_does_not_kill():
+    cfg, fn, info = setup("int a = 1; A[0] = 5; print(A[a]);")
+    # the entry def of A and the weak def both reach the print
+    node = cfg.node_of_stmt[fn.body[2]]
+    uses = [u for u in info.uses_at[node] if u.name == "A"]
+    assert uses
+    reaching = info.reaching_defs(uses[0])
+    assert len(reaching) == 2
+
+
+def test_entry_defs_for_params_and_externals():
+    cfg, fn, info = setup("int a = x;")
+    assert "x" in info.entry_defs
+    assert "A" in info.entry_defs  # unused param still gets an entry def
+    assert info.entry_defs["x"].entry
+
+
+def test_cond_uses_recorded():
+    cfg, fn, info = setup("if (x > 0) { }")
+    node = cfg.node_of_stmt[fn.body[0]]
+    assert [u.name for u in info.uses_at[node]] == ["x"]
+
+
+def test_du_chains_inverse_of_ud():
+    cfg, fn, info = setup("int a = 1; int b = a; int c = a + b;")
+    d_a = [d for d in info.defs if d.name == "a" and not d.entry][0]
+    uses = info.uses_of_def(d_a)
+    assert len(uses) == 2
+    for u in uses:
+        assert d_a in info.reaching_defs(u)
+
+
+def test_def_expr_recorded_for_strong_scalar_defs():
+    cfg, fn, info = setup("int a = x * 2;")
+    d_a = [d for d in info.defs if d.name == "a" and not d.entry][0]
+    assert d_a.expr is fn.body[0].init
+
+
+def test_return_uses():
+    program = parse_program("func int t(int x) { return x + 1; }")
+    cfg = build_cfg(program.functions[0])
+    info = compute_defuse(cfg)
+    node = cfg.node_of_stmt[program.functions[0].body[0]]
+    assert [u.name for u in info.uses_at[node]] == ["x"]
+
+
+def test_field_store_is_weak_def_of_object():
+    program = parse_program(
+        "class C { field int v; } func void t(C c) { c.v = 1; }"
+    )
+    fn = program.functions[0]
+    defs, uses, _ = stmt_defs_uses(fn.body[0])
+    assert defs == [("c", False)]

@@ -1,0 +1,135 @@
+"""Deployment manifest (serialisation) tests."""
+
+import json
+
+import pytest
+
+from repro.core.classes import split_class
+from repro.core.deploy import export_split, export_split_json, import_split
+from repro.core.globals import hide_global
+from repro.core.program import split_program
+from repro.lang import parse_program, check_program
+from repro.runtime.splitrun import run_original, run_split
+
+
+SOURCE = """
+func int f(int x, int y, int z, int[] B) {
+    int a = 3 * x + y;
+    int i = a;
+    int sum = 0;
+    while (i < z) { sum = sum + i; i = i + 1; }
+    if (sum > 50) { B[0] = sum / 2; } else { B[0] = 0; }
+    return sum;
+}
+func void main(int x, int y) {
+    int[] B = new int[2];
+    print(f(x, y, 25, B));
+    print(B[0]);
+}
+"""
+
+
+def make_split():
+    program = parse_program(SOURCE)
+    checker = check_program(program)
+    return program, split_program(program, checker, [("f", "a")])
+
+
+def test_export_is_json_serialisable():
+    _, sp = make_split()
+    text = export_split_json(sp)
+    data = json.loads(text)
+    assert data["format"] == "repro-split/1"
+    assert "f" in data["functions"]
+    assert data["functions"]["f"]["fragments"]
+
+
+def test_roundtrip_same_output():
+    program, sp = make_split()
+    deployed = import_split(export_split(sp))
+    for args in [(1, 2), (5, 5), (0, 0)]:
+        original = run_original(program, args=args)
+        redeployed = run_split(deployed, args=args)
+        assert redeployed.output == original.output
+
+
+def test_roundtrip_same_traffic():
+    _, sp = make_split()
+    deployed = import_split(export_split(sp))
+    a = run_split(sp, args=(3, 4))
+    d = run_split(deployed, args=(3, 4))
+    assert d.interactions == a.interactions
+    assert [e.kind for e in d.channel.transcript.events] == [
+        e.kind for e in a.channel.transcript.events
+    ]
+    assert [e.sent for e in d.channel.transcript.events] == [
+        e.sent for e in a.channel.transcript.events
+    ]
+
+
+def test_roundtrip_through_json_text():
+    program, sp = make_split()
+    deployed = import_split(export_split_json(sp))
+    original = run_original(program, args=(2, 9))
+    assert run_split(deployed, args=(2, 9)).output == original.output
+
+
+def test_global_hiding_manifest():
+    source = """
+    global int counter = 10;
+    func void bump(int k) { counter = counter + k; }
+    func void main(int k) { bump(k); bump(k * 2); print(counter); }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = hide_global(program, checker, "counter")
+    manifest = export_split(sp)
+    assert manifest["hidden_globals"] == {"counter": 10}
+    deployed = import_split(manifest)
+    original = run_original(program, args=(4,))
+    assert run_split(deployed, args=(4,)).output == original.output
+
+
+def test_class_splitting_manifest():
+    source = """
+    class Safe {
+        field int pin;
+        method void set(int p) { pin = p * 7; }
+        method int check() { return pin; }
+    }
+    func void main(int p) {
+        Safe s = new Safe();
+        s.set(p);
+        print(s.check());
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = split_class(program, checker, "Safe")
+    manifest = export_split(sp)
+    assert manifest["hidden_fields"] == {"Safe": {"pin": 0}}
+    deployed = import_split(manifest)
+    original = run_original(program, args=(6,))
+    assert run_split(deployed, args=(6,)).output == original.output
+
+
+def test_storage_map_preserved():
+    source = "global int g = 1; func void main() { g = g + 1; print(g); }"
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = hide_global(program, checker, "g")
+    deployed = import_split(export_split(sp))
+    _fn, _frags, storage = next(iter(deployed.registry().values()))
+    assert storage == {"g": "global"}
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(ValueError):
+        import_split({"format": "other/9"})
+
+
+def test_manifest_fragments_are_source_text():
+    _, sp = make_split()
+    manifest = export_split(sp)
+    bodies = [f["body"] for f in manifest["functions"]["f"]["fragments"]]
+    assert any("while (" in b for b in bodies)  # the hidden loop ships as source

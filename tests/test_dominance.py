@@ -1,0 +1,103 @@
+"""Dominator / postdominator / control dependence tests."""
+
+from repro.lang import parse_program
+from repro.analysis.cfg import build_cfg
+from repro.analysis.controldep import control_dependence, controlled_nodes
+from repro.analysis.dominance import dominators, immediate_dominators, postdominators
+
+
+def setup(body_src, params="int x"):
+    program = parse_program("func void t(%s) { %s }" % (params, body_src))
+    fn = program.functions[0]
+    cfg = build_cfg(fn)
+    return cfg, fn
+
+
+def test_entry_dominates_everything():
+    cfg, _ = setup("int a = 1; if (x > 0) { a = 2; } int b = 3;")
+    dom = dominators(cfg)
+    for node in cfg.nodes:
+        if node.preds or node is cfg.entry:
+            assert cfg.entry.id in dom[node]
+
+
+def test_branch_does_not_dominate_join_sides():
+    cfg, fn = setup("if (x > 0) { x = 1; } else { x = 2; } int b = 3;")
+    dom = dominators(cfg)
+    cond = cfg.node_of_stmt[fn.body[0]]
+    then_n = cfg.node_of_stmt[fn.body[0].then_body[0]]
+    join = cfg.node_of_stmt[fn.body[1]]
+    assert cond.id in dom[then_n]
+    assert then_n.id not in dom[join]
+    assert cond.id in dom[join]
+
+
+def test_exit_postdominates_everything():
+    cfg, _ = setup("int a = 1; while (x > 0) { x = x - 1; }")
+    pdom = postdominators(cfg)
+    for node in cfg.nodes:
+        if node.succs or node is cfg.exit:
+            assert cfg.exit.id in pdom[node]
+
+
+def test_join_postdominates_branch():
+    cfg, fn = setup("if (x > 0) { x = 1; } else { x = 2; } int b = 3;")
+    pdom = postdominators(cfg)
+    cond = cfg.node_of_stmt[fn.body[0]]
+    join = cfg.node_of_stmt[fn.body[1]]
+    assert join.id in pdom[cond]
+
+
+def test_immediate_dominators_tree():
+    cfg, fn = setup("int a = 1; if (x > 0) { a = 2; } int b = 3;")
+    idom = immediate_dominators(cfg)
+    assert idom[cfg.entry] is None
+    a = cfg.node_of_stmt[fn.body[0]]
+    cond = cfg.node_of_stmt[fn.body[1]]
+    join = cfg.node_of_stmt[fn.body[2]]
+    assert idom[a] is cfg.entry
+    assert idom[cond] is a
+    assert idom[join] is cond
+
+
+def test_control_dependence_branch_clauses():
+    cfg, fn = setup("if (x > 0) { x = 1; } else { x = 2; } int b = 3;")
+    deps = control_dependence(cfg)
+    cond = cfg.node_of_stmt[fn.body[0]]
+    then_n = cfg.node_of_stmt[fn.body[0].then_body[0]]
+    else_n = cfg.node_of_stmt[fn.body[0].else_body[0]]
+    join = cfg.node_of_stmt[fn.body[1]]
+    assert deps[then_n] == {cond}
+    assert deps[else_n] == {cond}
+    assert cond not in deps[join]
+
+
+def test_loop_body_control_dependent_on_header():
+    cfg, fn = setup("while (x > 0) { x = x - 1; } int b = 1;")
+    deps = control_dependence(cfg)
+    cond = cfg.node_of_stmt[fn.body[0]]
+    body_n = cfg.node_of_stmt[fn.body[0].body[0]]
+    after = cfg.node_of_stmt[fn.body[1]]
+    assert cond in deps[body_n]
+    # the while header is control dependent on itself (it re-executes)
+    assert cond in deps[cond]
+    assert cond not in deps[after]
+
+
+def test_nested_control_dependence():
+    cfg, fn = setup("if (x > 0) { if (x > 1) { x = 2; } }")
+    deps = control_dependence(cfg)
+    outer = cfg.node_of_stmt[fn.body[0]]
+    inner = cfg.node_of_stmt[fn.body[0].then_body[0]]
+    innermost = cfg.node_of_stmt[fn.body[0].then_body[0].then_body[0]]
+    assert deps[innermost] == {inner}
+    assert deps[inner] == {outer}
+
+
+def test_controlled_nodes_inversion():
+    cfg, fn = setup("if (x > 0) { x = 1; }")
+    deps = control_dependence(cfg)
+    inverted = controlled_nodes(deps)
+    cond = cfg.node_of_stmt[fn.body[0]]
+    then_n = cfg.node_of_stmt[fn.body[0].then_body[0]]
+    assert then_n in inverted[cond]

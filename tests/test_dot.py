@@ -1,0 +1,72 @@
+"""DOT export tests."""
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.dot import callgraph_to_dot, cfg_to_dot, ddg_to_dot, split_to_dot
+from repro.analysis.function import analyze_function
+from repro.core.program import split_program
+from repro.lang import parse_program, check_program
+
+SOURCE = """
+func int f(int x, int[] B) {
+    int a = x * 2;
+    int s = 0;
+    while (s < a) { s = s + 1; }
+    B[0] = s;
+    return s;
+}
+func int rec(int n) { if (n < 1) { return 0; } return rec(n - 1); }
+func void main(int x) {
+    int[] B = new int[2];
+    print(f(x, B));
+    int i = 0;
+    while (i < 2) { print(rec(i)); i = i + 1; }
+}
+"""
+
+
+def setup():
+    program = parse_program(SOURCE)
+    checker = check_program(program)
+    return program, checker
+
+
+def test_cfg_dot_well_formed():
+    program, checker = setup()
+    analysis = analyze_function(program.function("f"), checker)
+    dot = cfg_to_dot(analysis.cfg)
+    assert dot.startswith("digraph cfg {")
+    assert dot.rstrip().endswith("}")
+    assert "ENTRY" in dot and "EXIT" in dot
+    assert 'label="True"' in dot and 'label="False"' in dot
+    assert dot.count("->") >= len(analysis.cfg.nodes) - 1
+
+
+def test_cfg_dot_escapes_quotes():
+    program, checker = setup()
+    analysis = analyze_function(program.function("f"), checker)
+    dot = cfg_to_dot(analysis.cfg, name='weird"name')
+    assert 'weird\\"name' in dot
+
+
+def test_ddg_dot_marks_loop_carried():
+    program, checker = setup()
+    analysis = analyze_function(program.function("f"), checker)
+    dot = ddg_to_dot(analysis.ddg)
+    assert "style=dashed" in dot  # s = s + 1 recurrence
+    assert 'label="a"' in dot
+
+
+def test_callgraph_dot_marks_recursion_and_loop_calls():
+    program, checker = setup()
+    dot = callgraph_to_dot(build_callgraph(program, checker))
+    assert '"rec" [peripheries=2' in dot
+    assert "lightgrey" in dot  # rec called in loop
+    assert '"main" -> "f"' in dot
+
+
+def test_split_dot_links_calls_to_fragments():
+    program, checker = setup()
+    sp = split_program(program, checker, [("f", "a")])
+    dot = split_to_dot(sp.splits["f"])
+    assert "cluster_open" in dot and "cluster_hidden" in dot
+    assert "-> h" in dot  # at least one hcall edge

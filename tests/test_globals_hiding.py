@@ -1,0 +1,180 @@
+"""Global variable hiding tests (Section 2.2 extension)."""
+
+import pytest
+
+from repro.lang import ast, parse_program, check_program
+from repro.core.globals import functions_referencing, hide_global
+from repro.core.splitter import SplitError
+from repro.runtime.splitrun import check_equivalence, run_split
+
+
+BANK = """
+global int balance = 100;
+global int untouched = 5;
+func void deposit(int amount) {
+    int fee = amount / 20;
+    balance = balance + amount - fee;
+}
+func int peek() {
+    return balance;
+}
+func void main(int a) {
+    deposit(a);
+    deposit(a * 2);
+    print(peek());
+    print(balance + untouched);
+}
+"""
+
+
+def setup(source=BANK, name="balance"):
+    program = parse_program(source)
+    checker = check_program(program)
+    return program, checker, hide_global(program, checker, name)
+
+
+def test_equivalence_across_inputs():
+    program, _, sp = setup()
+    for args in [(0,), (7,), (40,), (-10,)]:
+        check_equivalence(program, sp, args=args)
+
+
+def test_all_referencing_functions_rewritten():
+    _, _, sp = setup()
+    assert set(sp.splits) == {"deposit", "peek", "main"}
+
+
+def test_hidden_global_declaration_removed():
+    _, _, sp = setup()
+    names = {g.name for g in sp.program.globals}
+    assert "balance" not in names
+    assert "untouched" in names  # other globals survive
+
+
+def test_initial_value_recorded():
+    _, _, sp = setup()
+    assert sp.hidden_global_inits == {"balance": 100}
+
+
+def test_no_open_references_remain():
+    _, _, sp = setup()
+    for fn in sp.program.all_functions():
+        for stmt in ast.walk_stmts(fn.body):
+            for e in ast.stmt_exprs(stmt):
+                assert not (
+                    isinstance(e, ast.VarRef) and e.name == "balance"
+                ), "open component still references the hidden global"
+
+
+def test_storage_map_marks_global():
+    _, _, sp = setup()
+    for split in sp.splits.values():
+        assert split.storage_map.get("balance") == "global"
+
+
+def test_state_shared_across_functions_and_calls():
+    program, _, sp = setup()
+    result = run_split(sp, args=(40,))
+    # deposit(40): +40-2, deposit(80): +80-4 -> 100+38+76 = 214
+    assert result.output == ["214", "219"]
+
+
+def test_functions_referencing_helper():
+    program = parse_program(BANK)
+    check_program(program)
+    names = {f.name for f in functions_referencing(program, "balance")}
+    assert names == {"deposit", "peek", "main"}
+
+
+def test_refs_only_path_for_loop_called_function():
+    source = """
+    global int counter = 0;
+    func void bump() {
+        counter = counter + 1;
+    }
+    func void main(int n) {
+        int i = 0;
+        while (i < n) { bump(); i = i + 1; }
+        print(counter);
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = hide_global(program, checker, "counter")
+    # bump is called from inside a loop: not sliced, references rewritten
+    assert "bump" in sp.splits
+    for args in [(0,), (3,), (9,)]:
+        check_equivalence(program, sp, args=args)
+
+
+def test_recursive_function_uses_refs_only():
+    source = """
+    global int depth = 0;
+    func int dig(int n) {
+        depth = depth + 1;
+        if (n <= 0) { return depth; }
+        return dig(n - 1);
+    }
+    func void main(int n) { print(dig(n)); print(depth); }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = hide_global(program, checker, "depth")
+    for args in [(0,), (4,)]:
+        check_equivalence(program, sp, args=args)
+
+
+def test_unknown_global_rejected():
+    program = parse_program(BANK)
+    checker = check_program(program)
+    with pytest.raises(SplitError):
+        hide_global(program, checker, "nope")
+
+
+def test_unreferenced_global_rejected():
+    source = "global int orphan = 1; func void main() { print(2); }"
+    program = parse_program(source)
+    checker = check_program(program)
+    with pytest.raises(SplitError):
+        hide_global(program, checker, "orphan")
+
+
+def test_array_global_rejected():
+    source = "global int[] table; func void main() { print(1); }"
+    program = parse_program(source)
+    checker = check_program(program)
+    with pytest.raises(SplitError):
+        hide_global(program, checker, "table")
+
+
+def test_interactions_charged():
+    program, _, sp = setup()
+    result = run_split(sp, args=(10,))
+    assert result.interactions > 4  # opens + set/get traffic
+
+
+
+def test_hidden_global_fetch_order_with_side_effecting_call():
+    """A statement that both calls a global-updating function and reads the
+    hidden global must see the post-call value (left-to-right evaluation),
+    not a stale hoisted fetch."""
+    from repro.core.globals import hide_global
+    from repro.runtime.splitrun import check_equivalence
+
+    source = """
+    global int counter = 10;
+    func int bump(int k) {
+        counter = counter + k;
+        return k;
+    }
+    func void main(int k) {
+        int both = bump(k) + counter;
+        print(both);
+        print(counter);
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = hide_global(program, checker, "counter")
+    for args in [(1,), (5,), (0,)]:
+        check_equivalence(program, sp, args=args)

@@ -1,0 +1,231 @@
+"""Interpreter semantics tests."""
+
+import pytest
+
+from repro.lang import parse_program, check_program
+from repro.runtime.interpreter import Interpreter, StepLimitExceeded
+from repro.runtime.values import RuntimeErr
+
+
+def run(source, entry="main", args=(), check=True, max_steps=1_000_000):
+    program = parse_program(source)
+    if check:
+        check_program(program)
+    interp = Interpreter(program, max_steps=max_steps)
+    value = interp.run(entry, args)
+    return value, interp
+
+
+def test_arithmetic_and_return():
+    value, _ = run("func int main() { return 2 + 3 * 4; }")
+    assert value == 14
+
+
+def test_print_output_captured():
+    _, interp = run("func void main() { print(1); print(2.5); print(true); }")
+    assert interp.output == ["1", "2.5", "true"]
+
+
+def test_variables_and_assignment():
+    value, _ = run("func int main() { int a = 1; a = a + 5; return a; }")
+    assert value == 6
+
+
+def test_if_else():
+    value, _ = run(
+        "func int sign(int x) { if (x > 0) { return 1; } else { if (x < 0) "
+        "{ return 0 - 1; } } return 0; } func int main() { return sign(0-5); }"
+    )
+    assert value == -1
+
+
+def test_while_loop():
+    value, _ = run(
+        "func int main() { int s = 0; int i = 1; while (i <= 10) "
+        "{ s = s + i; i = i + 1; } return s; }"
+    )
+    assert value == 55
+
+
+def test_for_loop_with_break_continue():
+    value, _ = run(
+        """
+        func int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i = i + 1) {
+                if (i == 7) { break; }
+                if (i % 2 == 0) { continue; }
+                s = s + i;
+            }
+            return s;
+        }
+        """
+    )
+    assert value == 1 + 3 + 5
+
+
+def test_continue_in_for_still_updates():
+    value, _ = run(
+        "func int main() { int c = 0; for (int i = 0; i < 3; i = i + 1) "
+        "{ continue; } return 9; }"
+    )
+    assert value == 9  # would loop forever if continue skipped the update
+
+
+def test_function_calls_and_recursion():
+    value, _ = run(
+        "func int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+        "func int main() { return fib(10); }"
+    )
+    assert value == 55
+
+
+def test_arrays():
+    value, _ = run(
+        """
+        func int main() {
+            int[] a = new int[5];
+            for (int i = 0; i < 5; i = i + 1) { a[i] = i * i; }
+            return a[4] - a[2];
+        }
+        """
+    )
+    assert value == 12
+
+
+def test_array_aliasing():
+    value, _ = run(
+        "func void fill(int[] a) { a[0] = 42; } "
+        "func int main() { int[] b = new int[1]; fill(b); return b[0]; }"
+    )
+    assert value == 42
+
+
+def test_objects_fields_methods():
+    value, _ = run(
+        """
+        class Counter {
+            field int n;
+            method void bump() { n = n + 1; }
+            method int get() { return n; }
+        }
+        func int main() {
+            Counter c = new Counter();
+            c.bump(); c.bump(); c.bump();
+            return c.get();
+        }
+        """
+    )
+    assert value == 3
+
+
+def test_method_sees_receiver_fields_not_locals_of_caller():
+    value, _ = run(
+        """
+        class C {
+            field int v;
+            method int double() { return v * 2; }
+        }
+        func int main() {
+            C a = new C(); C b = new C();
+            a.v = 10; b.v = 20;
+            return a.double() + b.double();
+        }
+        """
+    )
+    assert value == 60
+
+
+def test_globals_shared():
+    value, _ = run(
+        "global int g = 5; func void bump() { g = g + 1; } "
+        "func int main() { bump(); bump(); return g; }"
+    )
+    assert value == 7
+
+
+def test_int_to_float_promotion_on_call_and_return():
+    value, _ = run(
+        "func float half(float x) { return x / 2; } func float main() { return half(5); }"
+    )
+    assert value == 2.5
+
+
+def test_java_division_semantics():
+    value, _ = run("func int main() { return (0 - 7) / 2; }")
+    assert value == -3
+
+
+def test_short_circuit_evaluation():
+    value, _ = run(
+        "func bool die() { print(99); return true; } "
+        "func int main() { if (false && die()) { return 1; } "
+        "if (true || die()) { return 2; } return 3; }",
+    )
+    assert value == 2
+
+
+def test_uninitialized_defaults():
+    value, _ = run("func int main() { int a; bool b; if (b) { return 1; } return a; }")
+    assert value == 0
+
+
+def test_runtime_error_out_of_bounds():
+    with pytest.raises(RuntimeErr):
+        run("func int main() { int[] a = new int[2]; return a[5]; }")
+
+
+def test_runtime_error_null_array():
+    with pytest.raises(RuntimeErr):
+        run("func int main() { int[] a; return a[0]; }")
+
+
+def test_step_limit():
+    with pytest.raises(StepLimitExceeded):
+        run("func void main() { while (true) { } }", max_steps=1000)
+
+
+def test_steps_counted():
+    _, interp = run("func int main() { int a = 1; int b = 2; return a + b; }")
+    assert interp.steps == 3
+
+
+def test_hidden_builtin_without_runtime_errors():
+    program = parse_program("func int main() { return 0; }")
+    # inject an hcall-like call without attaching a hidden runtime
+    from repro.lang import builders as b
+
+    program.functions[0].body.insert(0, b.call_stmt("hopen", 0))
+    interp = Interpreter(program)
+    with pytest.raises(RuntimeErr):
+        interp.run("main", ())
+
+
+def test_entry_args_passed():
+    value, _ = run("func int main(int x, int y) { return x * 100 + y; }", args=(3, 4))
+    assert value == 304
+
+
+def test_missing_entry_function():
+    with pytest.raises(RuntimeErr):
+        run("func int f() { return 1; }", entry="nosuch")
+
+
+def test_wrong_arg_count():
+    with pytest.raises(RuntimeErr):
+        run("func int main(int x) { return x; }", args=())
+
+
+def test_unbounded_recursion_guarded():
+    with pytest.raises(RuntimeErr) as exc:
+        run("func int loop(int n) { return loop(n + 1); } "
+            "func int main() { return loop(0); }")
+    assert "call depth" in str(exc.value)
+
+
+def test_deep_but_bounded_recursion_ok():
+    value, _ = run(
+        "func int down(int n) { if (n <= 0) { return 0; } return down(n - 1) + 1; }"
+        "func int main() { return down(300); }"
+    )
+    assert value == 300

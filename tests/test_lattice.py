@@ -1,0 +1,178 @@
+"""Arithmetic complexity lattice tests (unit + property)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security.lattice import (
+    AC,
+    CType,
+    MAX_DEGREE,
+    TYPE_ORDER,
+    VARYING,
+    ac_max,
+    ac_min,
+    arbitrary_ac,
+    constant_ac,
+    eval_binary,
+    eval_builtin,
+    eval_unary,
+    linear_ac,
+    raise_by_iteration,
+)
+
+
+def test_type_order():
+    assert TYPE_ORDER == [
+        CType.CONSTANT,
+        CType.LINEAR,
+        CType.POLYNOMIAL,
+        CType.RATIONAL,
+        CType.ARBITRARY,
+    ]
+
+
+def test_add_joins_types_and_maxes_degree():
+    p = AC(CType.POLYNOMIAL, {"x"}, 2)
+    l = linear_ac("y")
+    r = eval_binary("+", p, l)
+    assert r.type == CType.POLYNOMIAL
+    assert r.degree == 2
+    assert r.inputs == frozenset({"x", "y"})
+
+
+def test_constant_plus_constant():
+    assert eval_binary("+", constant_ac(), constant_ac()) == constant_ac()
+
+
+def test_linear_times_linear_is_polynomial():
+    r = eval_binary("*", linear_ac("x"), linear_ac("y"))
+    assert r.type == CType.POLYNOMIAL
+    assert r.degree == 2
+
+
+def test_constant_scaling_preserves_type():
+    r = eval_binary("*", constant_ac(), linear_ac("x"))
+    assert r.type == CType.LINEAR
+    assert r.degree == 1
+
+
+def test_division_by_constant_preserves_type():
+    r = eval_binary("/", linear_ac("x"), constant_ac())
+    assert r.type == CType.LINEAR
+
+
+def test_division_by_variable_is_rational():
+    r = eval_binary("/", linear_ac("x"), linear_ac("y"))
+    assert r.type == CType.RATIONAL
+
+
+def test_rational_times_polynomial_is_rational():
+    rat = AC(CType.RATIONAL, {"x"}, 2)
+    poly = AC(CType.POLYNOMIAL, {"y"}, 2)
+    assert eval_binary("*", rat, poly).type == CType.RATIONAL
+
+
+def test_mod_and_relational_are_arbitrary():
+    assert eval_binary("%", linear_ac("x"), constant_ac()).type == CType.ARBITRARY
+    assert eval_binary("<", linear_ac("x"), linear_ac("y")).type == CType.ARBITRARY
+    assert eval_binary("&&", constant_ac(), constant_ac()).type == CType.ARBITRARY
+
+
+def test_arbitrary_absorbs():
+    r = eval_binary("+", arbitrary_ac({"x"}), linear_ac("y"))
+    assert r.type == CType.ARBITRARY
+    assert r.degree is None
+
+
+def test_unary_minus_preserves():
+    assert eval_unary("-", linear_ac("x")).type == CType.LINEAR
+    assert eval_unary("!", constant_ac()).type == CType.ARBITRARY
+
+
+def test_builtin_of_constants_is_constant():
+    assert eval_builtin("sqrt", [constant_ac()]).type == CType.CONSTANT
+
+
+def test_builtin_of_variable_is_arbitrary():
+    assert eval_builtin("exp", [linear_ac("x")]).type == CType.ARBITRARY
+
+
+def test_degree_cap_collapses_to_arbitrary():
+    big = AC(CType.POLYNOMIAL, {"x"}, MAX_DEGREE)
+    r = eval_binary("*", big, linear_ac("y"))
+    assert r.type == CType.ARBITRARY
+
+
+def test_varying_inputs_propagate():
+    v = AC(CType.LINEAR, VARYING, 1)
+    r = eval_binary("+", v, linear_ac("x"))
+    assert r.inputs == VARYING
+    assert r.input_count() == VARYING
+
+
+def test_raise_additive_recurrence():
+    # x += c over a linear trip count: linear in the count
+    r = raise_by_iteration(constant_ac(), linear_ac("n"))
+    assert r.type == CType.LINEAR
+    # x += i (linear) over a linear trip count: quadratic
+    r = raise_by_iteration(linear_ac("i"), linear_ac("n"))
+    assert r.type == CType.POLYNOMIAL
+    assert r.degree == 2
+
+
+def test_raise_multiplicative_recurrence_is_arbitrary():
+    r = raise_by_iteration(linear_ac("x"), linear_ac("n"), multiplicative=True)
+    assert r.type == CType.ARBITRARY
+
+
+def test_min_max():
+    lo = linear_ac("x")
+    hi = AC(CType.POLYNOMIAL, {"x"}, 3)
+    assert ac_min(lo, hi) is lo
+    assert ac_max(lo, hi) is hi
+
+
+def test_rank_orders_by_degree_within_type():
+    d2 = AC(CType.POLYNOMIAL, {"x"}, 2)
+    d3 = AC(CType.POLYNOMIAL, {"x"}, 3)
+    assert ac_max(d2, d3) is d3
+
+
+def test_repr_matches_paper_notation():
+    assert repr(AC(CType.POLYNOMIAL, {"x", "y"}, 2)) == "<Polynomial, 2, 2>"
+    assert repr(arbitrary_ac()) == "<Arbitrary, 0, ->"
+    assert repr(AC(CType.LINEAR, VARYING, 1)) == "<Linear, varying, 1>"
+
+
+_types = st.sampled_from(TYPE_ORDER)
+_acs = st.builds(
+    AC,
+    _types,
+    st.frozensets(st.sampled_from(["x", "y", "z"]), max_size=3),
+    st.integers(min_value=0, max_value=MAX_DEGREE),
+)
+
+
+@given(_acs, _acs)
+def test_min_max_are_selective(a, b):
+    assert ac_min(a, b) in (a, b)
+    assert ac_max(a, b) in (a, b)
+    assert ac_min(a, b).rank() <= ac_max(a, b).rank()
+
+
+@given(_acs, _acs)
+def test_eval_binary_commutative_ops_symmetric_type(a, b):
+    for op in ("+", "*"):
+        r1 = eval_binary(op, a, b)
+        r2 = eval_binary(op, b, a)
+        assert r1.type == r2.type
+        assert r1.degree == r2.degree
+        assert r1.inputs == r2.inputs
+
+
+@given(_acs, _acs)
+def test_eval_never_below_operand_type_for_add(a, b):
+    r = eval_binary("+", a, b)
+    assert r.rank() >= min(a.rank(), b.rank())
+    order = {t: i for i, t in enumerate(TYPE_ORDER)}
+    assert order[r.type] >= max(order[a.type], order[b.type]) or r.type == CType.ARBITRARY

@@ -1,0 +1,162 @@
+"""Liveness analysis and lint diagnostics tests."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.function import analyze_function
+from repro.analysis.lint import diagnose_split, lint_program
+from repro.analysis.liveness import compute_liveness, dead_stores
+from repro.core.splitter import split_function
+from repro.lang import parse_program, check_program
+from repro.security.estimator import estimate_split_complexities
+
+
+def setup(body, params="int x, int[] A"):
+    program = parse_program("func void t(%s) { %s }" % (params, body))
+    fn = program.functions[0]
+    cfg = build_cfg(fn)
+    return program, fn, cfg
+
+
+# -- liveness ------------------------------------------------------------------
+
+
+def test_straight_line_liveness():
+    _, fn, cfg = setup("int a = x; int b = a + 1; print(b);")
+    lv = compute_liveness(cfg)
+    decl_a = cfg.node_of_stmt[fn.body[0]]
+    assert "a" in lv.live_out[decl_a]
+    decl_b = cfg.node_of_stmt[fn.body[1]]
+    assert "a" not in lv.live_out[decl_b]  # a's last use was here
+    assert "b" in lv.live_out[decl_b]
+
+
+def test_branch_merges_liveness():
+    _, fn, cfg = setup("int a = 1; if (x > 0) { print(a); } print(x);")
+    lv = compute_liveness(cfg)
+    decl = cfg.node_of_stmt[fn.body[0]]
+    assert "a" in lv.live_out[decl]  # live on the then-path
+
+
+def test_loop_keeps_accumulator_live():
+    _, fn, cfg = setup(
+        "int s = 0; int i = 0; while (i < x) { s = s + i; i = i + 1; } print(s);"
+    )
+    lv = compute_liveness(cfg)
+    body_assign = cfg.node_of_stmt[fn.body[2].body[0]]
+    assert "s" in lv.live_out[body_assign]
+    assert "i" in lv.live_out[body_assign]
+
+
+def test_dead_store_detected():
+    _, fn, cfg = setup("int a = x; a = 5; print(a);")
+    dead = dead_stores(cfg)
+    assert len(dead) == 1
+    assert dead[0] is fn.body[0]  # the initial value is overwritten unread
+
+
+def test_array_store_never_dead():
+    _, fn, cfg = setup("A[0] = x;")
+    assert dead_stores(cfg) == []
+
+
+def test_no_false_positive_when_used_in_loop():
+    _, fn, cfg = setup("int s = 0; int i = 0; while (i < x) { s = s + 1; i = i + 1; } print(s);")
+    assert dead_stores(cfg) == []
+
+
+# -- lint ----------------------------------------------------------------------
+
+
+def lint(source):
+    program = parse_program(source)
+    check_program(program)
+    return lint_program(program)
+
+
+def test_lint_clean_program():
+    findings = lint("func int f(int x) { int a = x + 1; return a; }")
+    assert findings == []
+
+
+def test_lint_unused_variable():
+    findings = lint("func void f(int x) { int ghost; print(x); }")
+    kinds = {f.kind for f in findings}
+    assert "unused-variable" in kinds
+
+
+def test_lint_unreachable_after_return():
+    findings = lint("func int f() { return 1; print(2); }")
+    assert [f.kind for f in findings].count("unreachable") == 1
+
+
+def test_lint_unreachable_reports_outermost_only():
+    findings = lint(
+        "func int f(int x) { return 1; while (x > 0) { x = x - 1; } }"
+    )
+    unreachable = [f for f in findings if f.kind == "unreachable"]
+    assert len(unreachable) == 1  # the loop, not also its body
+
+
+def test_lint_dead_store_in_method():
+    findings = lint(
+        "class C { field int v; method void m(int x) { int t = x; t = 0; v = t; } }"
+    )
+    assert any(f.kind == "dead-store" and f.where == "C.m" for f in findings)
+
+
+# -- split diagnostics -----------------------------------------------------------
+
+
+def split_of(source, fn_name, var):
+    program = parse_program(source)
+    checker = check_program(program)
+    fn = program.function(fn_name)
+    analysis = analyze_function(fn, checker)
+    split = split_function(fn, var, analysis)
+    return split, analysis
+
+
+def test_diagnose_weak_protection():
+    split, analysis = split_of(
+        "func void f(int x, int[] B) { int a = x + 1; B[0] = a; }", "f", "a"
+    )
+    results = estimate_split_complexities(split, analysis)
+    findings = diagnose_split(split, results)
+    kinds = {f.kind for f in findings}
+    assert "weak-protection" in kinds
+    assert "no-control-flow-hidden" in kinds
+
+
+def test_diagnose_raw_fetches():
+    source = """
+    func int g(int v) { return v * 2; }
+    func int f(int x, int[] B) {
+        int a = x + 1;
+        int r = g(a);
+        B[0] = r;
+        return r;
+    }
+    """
+    split, analysis = split_of(source, "f", "a")
+    findings = diagnose_split(split)
+    raw = [f for f in findings if f.kind == "raw-value-leak"]
+    assert raw and "a" in raw[0].message
+
+
+def test_diagnose_strong_split_is_quiet():
+    source = """
+    func int f(int x, int z, int[] B) {
+        int a = x * 3;
+        int i = a;
+        int s = 0;
+        while (i < z) { s = s + i; i = i + 1; }
+        if (s > 10) { s = s - 10; B[0] = s / 2; } else { B[0] = 0; }
+        return s;
+    }
+    """
+    split, analysis = split_of(source, "f", "a")
+    results = estimate_split_complexities(split, analysis)
+    findings = diagnose_split(split, results)
+    kinds = {f.kind for f in findings}
+    assert "weak-protection" not in kinds
+    assert "no-control-flow-hidden" not in kinds
+    assert "raw-value-leak" not in kinds

@@ -1,0 +1,112 @@
+"""Natural loop detection and counted-loop matching tests."""
+
+from repro.lang import parse_program
+from repro.analysis.cfg import build_cfg
+from repro.analysis.loops import find_loops, innermost_loop_of, match_counted_loop
+
+
+def setup(body_src, params="int x, int n"):
+    program = parse_program("func void t(%s) { %s }" % (params, body_src))
+    fn = program.functions[0]
+    cfg = build_cfg(fn)
+    return cfg, fn, find_loops(cfg)
+
+
+def first_stmt(fn):
+    return fn.body[0]
+
+
+def test_single_while_loop_found():
+    cfg, fn, loops = setup("while (x > 0) { x = x - 1; }")
+    assert len(loops) == 1
+    assert loops[0].header is cfg.node_of_stmt[fn.body[0]]
+    assert loops[0].stmt is fn.body[0]
+
+
+def test_for_loop_found():
+    cfg, fn, loops = setup("for (int i = 0; i < n; i = i + 1) { print(i); }")
+    assert len(loops) == 1
+    assert loops[0].stmt is fn.body[0]
+
+
+def test_nested_loops_depths():
+    cfg, fn, loops = setup(
+        "while (x > 0) { int j = 0; while (j < n) { j = j + 1; } x = x - 1; }"
+    )
+    assert len(loops) == 2
+    outer = max(loops, key=lambda l: len(l.body))
+    inner = min(loops, key=lambda l: len(l.body))
+    assert outer.depth == 1
+    assert inner.depth == 2
+    assert inner.parent is outer
+    assert inner.body < outer.body
+
+
+def test_innermost_loop_of():
+    cfg, fn, loops = setup(
+        "while (x > 0) { int j = 0; while (j < n) { j = j + 1; } x = x - 1; }"
+    )
+    inner_stmt = fn.body[0].body[1].body[0]
+    node = cfg.node_of_stmt[inner_stmt]
+    innermost = innermost_loop_of(loops, node)
+    assert innermost.depth == 2
+
+
+def test_no_loops_in_straight_line():
+    _, _, loops = setup("int a = 1; if (x > 0) { a = 2; }")
+    assert loops == []
+
+
+def test_match_counted_while_up():
+    _, fn, _ = setup("int i = 0; while (i < n) { print(i); i = i + 1; }")
+    counted = match_counted_loop(fn.body[1])
+    assert counted is not None
+    assert counted.var == "i"
+    assert counted.step == 1
+    assert counted.direction == "up"
+    assert counted.relop == "<"
+
+
+def test_match_counted_for():
+    _, fn, _ = setup("for (int i = 0; i < n; i = i + 2) { print(i); }")
+    counted = match_counted_loop(fn.body[0])
+    assert counted.step == 2
+    assert counted.entry_value_vars() == {"i", "n"}
+
+
+def test_match_counted_down():
+    _, fn, _ = setup("int i = n; while (i > 0) { i = i - 1; }")
+    counted = match_counted_loop(fn.body[1])
+    assert counted.direction == "down"
+
+
+def test_match_reversed_condition():
+    _, fn, _ = setup("int i = 0; while (n > i) { i = i + 1; }")
+    counted = match_counted_loop(fn.body[1])
+    assert counted is not None
+    assert counted.var == "i"
+
+
+def test_no_match_variable_step():
+    _, fn, _ = setup("int i = 0; while (i < n) { i = i + x; }")
+    assert match_counted_loop(fn.body[1]) is None
+
+
+def test_no_match_wrong_direction():
+    _, fn, _ = setup("int i = 0; while (i < n) { i = i - 1; }")
+    assert match_counted_loop(fn.body[1]) is None
+
+
+def test_no_match_bound_modified_in_body():
+    _, fn, _ = setup("int i = 0; while (i < n) { i = i + 1; n = n - 1; }")
+    assert match_counted_loop(fn.body[1]) is None
+
+
+def test_no_match_multiple_updates():
+    _, fn, _ = setup("int i = 0; while (i < n) { i = i + 1; i = i + 2; }")
+    assert match_counted_loop(fn.body[1]) is None
+
+
+def test_no_match_complex_condition():
+    _, fn, _ = setup("int i = 0; while (i * i < n) { i = i + 1; }")
+    assert match_counted_loop(fn.body[1]) is None

@@ -1,0 +1,183 @@
+"""Targeted tests for paths not covered elsewhere: runtime edges, result
+accounting, the bench runner module, error propagation."""
+
+import io
+
+import pytest
+
+from repro.lang import parse_program, check_program
+from repro.core.program import split_program
+from repro.runtime.splitrun import (
+    EquivalenceError,
+    RunResult,
+    check_equivalence,
+    run_original,
+    run_split,
+)
+from repro.runtime.values import RuntimeErr
+
+
+def run(source, entry="main", args=()):
+    program = parse_program(source)
+    check_program(program)
+    return run_original(program, entry=entry, args=args)
+
+
+# -- interpreter edges ---------------------------------------------------------
+
+
+def test_method_call_on_null_object():
+    with pytest.raises(RuntimeErr):
+        run("class C { method int m() { return 1; } } "
+            "func int main() { C c; return c.m(); }")
+
+
+def test_field_access_on_null_object():
+    with pytest.raises(RuntimeErr):
+        run("class C { field int v; } func int main() { C c; return c.v; }")
+
+
+def test_store_into_null_array():
+    with pytest.raises(RuntimeErr):
+        run("func void main() { int[] a; a[0] = 1; }")
+
+
+def test_float_print_formats():
+    result = run(
+        "func void main() { print(1.0); print(0.333333333333); print(1.0 / 3.0); }"
+    )
+    assert result.output[0] == "1"
+    assert result.output[1] == "0.333333"
+
+
+def test_void_function_returns_none():
+    result = run("func void main() { print(1); }")
+    assert result.value is None
+
+
+def test_len_builtin_runtime():
+    result = run("func int main() { int[] a = new int[7]; return len(a); }")
+    assert result.value == 7
+
+
+def test_nested_array_of_arrays_rejected_by_grammar():
+    # int[][] is not in the grammar: the parser must reject it cleanly
+    from repro.lang.errors import ParseError
+
+    with pytest.raises(ParseError):
+        parse_program("func void f(int[][] m) { }")
+
+
+def test_interpreter_counts_loop_header_ticks():
+    result = run("func void main() { int i = 0; while (i < 3) { i = i + 1; } }")
+    # decl + while stmt + 3 iterations x (header tick + assign): stable
+    assert result.steps_open == 8
+
+
+# -- RunResult accounting ---------------------------------------------------------
+
+
+def test_simulated_ms_components():
+    r = RunResult(None, [], steps_open=1000, steps_hidden=500, channel=None)
+    assert r.simulated_ms(stmt_cost_us=2.0) == pytest.approx(3.0)
+    assert r.simulated_ms(stmt_cost_us=2.0, hidden_stmt_cost_us=4.0) == pytest.approx(4.0)
+
+
+def test_interactions_without_channel_is_zero():
+    r = RunResult(None, [], steps_open=10)
+    assert r.interactions == 0
+
+
+def test_equivalence_error_on_diverging_value():
+    source = "func int f(int x, int[] B) { int a = x; B[0] = a; return a; } " \
+             "func int main(int x) { int[] B = new int[2]; return f(x, B); }"
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")])
+    # sabotage the hidden fragment: make the GET return a wrong value
+    from repro.lang import builders as b
+    from repro.core.hidden import FragmentKind
+
+    for frag in sp.splits["f"].fragments.values():
+        if frag.kind == FragmentKind.EXPR and frag.result_expr is not None:
+            frag.result_expr = b.add(frag.result_expr, 1)
+    with pytest.raises(EquivalenceError):
+        check_equivalence(program, sp, args=(3,))
+
+
+def test_float_tolerance_in_equivalence():
+    from repro.runtime.splitrun import _values_differ
+
+    assert not _values_differ(1.0, 1.0)
+    assert not _values_differ(1.0, 1.0 + 1e-14)
+    assert _values_differ(1.0, 1.1)
+    assert _values_differ(1, 2)
+
+
+# -- bench runner -------------------------------------------------------------------
+
+
+def test_bench_main_runs_subset(capsys):
+    from repro.bench.__main__ import main
+
+    code = main(["fig2", "fig3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Fig. 2" in out and "Fig. 3" in out
+    assert "regenerated in" in out
+
+
+def test_bench_main_rejects_unknown(capsys):
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["tableX"])
+
+
+# -- CLI graph ------------------------------------------------------------------------
+
+
+def test_cli_graph_all_kinds(tmp_path):
+    from repro.cli import main
+
+    path = tmp_path / "p.mj"
+    path.write_text(
+        "func int f(int x, int[] B) { int a = x * 2; B[0] = a; return a; } "
+        "func void main(int x) { int[] B = new int[2]; print(f(x, B)); }"
+    )
+    for kind in ("cfg", "ddg", "split"):
+        out = io.StringIO()
+        code = main(["graph", str(path), "--function", "f", "--kind", kind], out=out)
+        assert code == 0, kind
+        assert out.getvalue().startswith("digraph")
+    out = io.StringIO()
+    assert main(["graph", str(path), "--kind", "callgraph"], out=out) == 0
+    out = io.StringIO()
+    assert main(["graph", str(path), "--kind", "cfg"], out=out) == 2  # no --function
+
+
+# -- deploy errors ----------------------------------------------------------------------
+
+
+def test_import_split_rejects_bad_fragment_source():
+    from repro.core.deploy import import_split
+
+    manifest = {
+        "format": "repro-split/1",
+        "open_program": "func void main() { print(1); }",
+        "functions": {
+            "f": {
+                "fn_id": 0,
+                "storage_map": {},
+                "fragments": [
+                    {"label": 0, "kind": "stmts", "params": [],
+                     "body": "this is not a statement", "result": None,
+                     "set_var": None}
+                ],
+            }
+        },
+    }
+    from repro.lang.errors import LangError
+
+    with pytest.raises(LangError):
+        import_split(manifest)

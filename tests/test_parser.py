@@ -1,0 +1,204 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expression, parse_program
+
+
+def parse_fn_body(body_src):
+    program = parse_program("func void t() { %s }" % body_src)
+    return program.functions[0].body
+
+
+def test_empty_program():
+    program = parse_program("")
+    assert program.functions == []
+    assert program.classes == []
+    assert program.globals == []
+
+
+def test_function_signature():
+    program = parse_program("func int add(int a, float b) { return a; }")
+    fn = program.functions[0]
+    assert fn.name == "add"
+    assert isinstance(fn.ret_type, ast.IntType)
+    assert [p.name for p in fn.params] == ["a", "b"]
+    assert isinstance(fn.params[1].param_type, ast.FloatType)
+
+
+def test_void_function():
+    fn = parse_program("func void f() { }").functions[0]
+    assert fn.ret_type is None
+
+
+def test_array_type_param():
+    fn = parse_program("func void f(int[] a, Point[] ps) { }").functions[0]
+    assert isinstance(fn.params[0].param_type, ast.ArrayType)
+    assert isinstance(fn.params[1].param_type.elem, ast.ClassType)
+
+
+def test_global_declaration():
+    program = parse_program("global int counter = 5;")
+    g = program.globals[0]
+    assert g.name == "counter"
+    assert g.init.value == 5
+
+
+def test_class_with_fields_and_methods():
+    program = parse_program(
+        "class Point { field float x; field float y; method float getx() { return x; } }"
+    )
+    cls = program.classes[0]
+    assert cls.name == "Point"
+    assert [f.name for f in cls.fields] == ["x", "y"]
+    assert cls.methods[0].owner == "Point"
+    assert cls.methods[0].qualified_name == "Point.getx"
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expression("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_precedence_comparison_over_and():
+    expr = parse_expression("a < b && c > d")
+    assert expr.op == "&&"
+    assert expr.left.op == "<"
+
+
+def test_left_associativity():
+    expr = parse_expression("10 - 4 - 3")
+    assert expr.op == "-"
+    assert expr.left.op == "-"
+    assert expr.right.value == 3
+
+
+def test_parentheses_override():
+    expr = parse_expression("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_unary_operators():
+    expr = parse_expression("-x * !y")
+    assert expr.op == "*"
+    assert isinstance(expr.left, ast.UnaryOp)
+    assert isinstance(expr.right, ast.UnaryOp)
+
+
+def test_postfix_chains():
+    expr = parse_expression("a.b[1].c(2)")
+    assert isinstance(expr, ast.MethodCall)
+    assert expr.name == "c"
+    assert isinstance(expr.receiver, ast.Index)
+
+
+def test_new_array_and_object():
+    arr = parse_expression("new int[10]")
+    assert isinstance(arr, ast.NewArray)
+    obj = parse_expression("new Point()")
+    assert isinstance(obj, ast.NewObject)
+
+
+def test_if_else_chain():
+    body = parse_fn_body("if (a > 0) { } else if (a < 0) { } else { }")
+    stmt = body[0]
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.else_body[0], ast.If)
+    assert stmt.else_body[0].else_body == []
+
+
+def test_while_and_break_continue():
+    body = parse_fn_body("while (true) { break; continue; }")
+    loop = body[0]
+    assert isinstance(loop, ast.While)
+    assert isinstance(loop.body[0], ast.Break)
+    assert isinstance(loop.body[1], ast.Continue)
+
+
+def test_for_loop_full_header():
+    body = parse_fn_body("for (int i = 0; i < 10; i = i + 1) { }")
+    loop = body[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.update, ast.Assign)
+
+
+def test_for_loop_empty_slots():
+    body = parse_fn_body("for (; ; ) { break; }")
+    loop = body[0]
+    assert loop.init is None and loop.cond is None and loop.update is None
+
+
+def test_class_typed_declaration_disambiguation():
+    body = parse_fn_body("Point p = new Point(); p.x = 1.0;")
+    assert isinstance(body[0], ast.VarDecl)
+    assert isinstance(body[0].var_type, ast.ClassType)
+    assert isinstance(body[1].target, ast.FieldAccess)
+
+
+def test_array_typed_class_declaration():
+    body = parse_fn_body("Point[] ps = new Point[4];")
+    assert isinstance(body[0].var_type, ast.ArrayType)
+
+
+def test_assignment_targets():
+    body = parse_fn_body("int a = 0; a = 1; ")
+    assert isinstance(body[1], ast.Assign)
+    assert isinstance(body[1].target, ast.VarRef)
+
+
+def test_index_assignment():
+    body = parse_fn_body("B[i + 1] = 7;")
+    assert isinstance(body[0].target, ast.Index)
+
+
+def test_call_statement():
+    body = parse_fn_body("f(1, 2);")
+    assert isinstance(body[0], ast.CallStmt)
+
+
+def test_invalid_assignment_target_rejected():
+    with pytest.raises(ParseError):
+        parse_fn_body("1 + 2 = 3;")
+
+
+def test_bare_expression_statement_rejected():
+    with pytest.raises(ParseError):
+        parse_fn_body("a + b;")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_fn_body("int a = 1")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("1 + 2 extra")
+
+
+def test_unknown_toplevel_rejected():
+    with pytest.raises(ParseError):
+        parse_program("int x;")
+
+
+def test_nested_blocks():
+    body = parse_fn_body("{ int a = 1; { a = 2; } }")
+    assert isinstance(body[0], ast.Block)
+    assert isinstance(body[0].body[1], ast.Block)
+
+
+def test_print_statement():
+    body = parse_fn_body("print(1 + 2);")
+    assert isinstance(body[0], ast.Print)
+
+
+def test_return_forms():
+    body = parse_fn_body("return;")
+    assert body[0].value is None
+    body = parse_fn_body("return 1 + 2;")
+    assert body[0].value.op == "+"

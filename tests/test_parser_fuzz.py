@@ -1,0 +1,62 @@
+"""Parser/lexer robustness: arbitrary input must either parse or raise a
+*frontend* error — never crash with an unrelated exception."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.errors import LangError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expression, parse_program, parse_statements
+
+
+def _survives(fn, source):
+    try:
+        fn(source)
+    except LangError:
+        pass  # rejecting bad input with a diagnostic is correct
+    except RecursionError:
+        pass  # pathological nesting depth; acceptable for a frontend
+    # any other exception type propagates and fails the test
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=80))
+def test_lexer_total_on_arbitrary_text(source):
+    _survives(tokenize, source)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=80))
+def test_parser_total_on_arbitrary_text(source):
+    _survives(parse_program, source)
+
+
+# token soup: syntactically plausible junk is more likely to reach deep
+# parser states than raw unicode
+_tokens = st.sampled_from(
+    [
+        "func", "int", "float", "bool", "void", "if", "else", "while", "for",
+        "return", "print", "break", "continue", "class", "field", "method",
+        "global", "new", "true", "false", "x", "y", "f", "A", "3", "2.5",
+        "+", "-", "*", "/", "%", "<", "<=", "==", "&&", "||", "!", "=",
+        "(", ")", "{", "}", "[", "]", ",", ";", ".",
+    ]
+)
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.lists(_tokens, max_size=30))
+def test_parser_total_on_token_soup(tokens):
+    _survives(parse_program, " ".join(tokens))
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(_tokens, max_size=20))
+def test_expression_parser_total_on_token_soup(tokens):
+    _survives(parse_expression, " ".join(tokens))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_tokens, max_size=20))
+def test_statement_parser_total_on_token_soup(tokens):
+    _survives(parse_statements, " ".join(tokens))

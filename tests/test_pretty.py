@@ -1,0 +1,109 @@
+"""Pretty-printer round-trip tests (unit + property)."""
+
+from hypothesis import given, settings
+
+from repro.lang import parse_program, pretty
+from repro.lang.ast import structurally_equal
+from repro.lang.parser import parse_expression
+from repro.lang.pretty import pretty_expr
+
+from tests.genprograms import programs
+
+CANONICAL = """
+global int G = 3;
+class Point {
+    field float x;
+    method float scale(float k) {
+        return x * k;
+    }
+}
+func int f(int a, int b, int[] arr) {
+    int s = 0;
+    for (int i = 0; i < a; i = i + 1) {
+        if (arr[i] > b && !(arr[i] == 0)) {
+            s = s + arr[i];
+        } else {
+            s = s - 1;
+        }
+    }
+    while (s > 100) {
+        s = s / 2;
+        break;
+    }
+    return s;
+}
+func void main() {
+    int[] arr = new int[4];
+    Point p = new Point();
+    print(f(4, 2, arr));
+    print(p.scale(2.0));
+}
+"""
+
+
+def roundtrips(source):
+    first = parse_program(source)
+    text1 = pretty(first)
+    second = parse_program(text1)
+    assert structurally_equal(
+        parse_program(pretty(second)), second
+    ), "pretty output must re-parse to the same tree"
+    assert pretty(second) == text1, "pretty printing must be a fixpoint"
+
+
+def test_canonical_program_roundtrip():
+    roundtrips(CANONICAL)
+
+
+def test_precedence_preserved_without_redundant_parens():
+    expr = parse_expression("1 + 2 * 3")
+    assert pretty_expr(expr) == "1 + 2 * 3"
+
+
+def test_required_parens_emitted():
+    expr = parse_expression("(1 + 2) * 3")
+    assert pretty_expr(expr) == "(1 + 2) * 3"
+
+
+def test_right_nested_subtraction_parenthesised():
+    expr = parse_expression("10 - (4 - 3)")
+    assert pretty_expr(expr) == "10 - (4 - 3)"
+    reparsed = parse_expression(pretty_expr(expr))
+    assert structurally_equal(reparsed, expr)
+
+
+def test_unary_inside_binary():
+    expr = parse_expression("-(a + b) * c")
+    reparsed = parse_expression(pretty_expr(expr))
+    assert structurally_equal(reparsed, expr)
+
+
+def test_bool_literals():
+    expr = parse_expression("true && !false")
+    assert pretty_expr(expr) == "true && !false"
+
+
+def test_else_if_chain_roundtrip():
+    roundtrips(
+        "func int f(int a) { if (a > 0) { return 1; } else if (a < 0) "
+        "{ return 0 - 1; } else { return 0; } }"
+    )
+
+
+def test_for_without_init_roundtrip():
+    roundtrips("func void f() { int i = 0; for (; i < 3; i = i + 1) { print(i); } }")
+
+
+def test_method_call_receiver_precedence():
+    expr = parse_expression("(a.b()).c()")
+    reparsed = parse_expression(pretty_expr(expr))
+    assert structurally_equal(reparsed, expr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_generated_programs_roundtrip(program):
+    text = pretty(program)
+    reparsed = parse_program(text)
+    assert pretty(reparsed) == text
+    assert structurally_equal(parse_program(pretty(reparsed)), reparsed)

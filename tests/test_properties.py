@@ -1,0 +1,195 @@
+"""Cross-cutting property tests (hypothesis).
+
+These encode the system's load-bearing invariants:
+
+1. splitting preserves observable behaviour — including multi-variable
+   union splits — on arbitrary generated programs;
+2. channel accounting is consistent with the transcript;
+3. the deployment manifest round-trips to identical behaviour and traffic;
+4. on single-path programs, the static complexity estimate is a sound
+   lower bound for the empirically recovered class;
+5. interpretation is deterministic.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.function import analyze_function
+from repro.attack.classify import classify_trace, consistent_with_estimate
+from repro.attack.driver import leaking_labels
+from repro.attack.trace import collect_traces
+from repro.core.deploy import export_split, import_split
+from repro.core.program import split_program
+from repro.core.selection import splittable_variables
+from repro.core.splitter import SplitError
+from repro.lang import builders as b
+from repro.lang import check_program
+from repro.runtime.splitrun import check_equivalence, run_original, run_split
+from repro.security.estimator import estimate_split_complexities
+
+from tests.genprograms import programs
+
+
+def _first_split(program, union=False):
+    checker = check_program(program)
+    fn = program.function("f")
+    analysis = analyze_function(fn, checker)
+    variables = splittable_variables(fn, analysis)
+    if union:
+        choice = variables
+    else:
+        choice = variables[0] if variables else None
+    if not choice:
+        return None, checker
+    try:
+        return split_program(program, checker, [("f", choice)]), checker
+    except SplitError:
+        return None, checker
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_union_split_equivalent(program):
+    sp, _ = _first_split(program, union=True)
+    if sp is None:
+        return
+    for args in [(0, 0), (5, -3), (9, 9)]:
+        check_equivalence(program, sp, args=args)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_channel_accounting_consistent(program):
+    sp, _ = _first_split(program)
+    if sp is None:
+        return
+    result = run_split(sp, args=(2, 3))
+    channel = result.channel
+    assert channel.interactions == len(channel.transcript.events)
+    assert channel.values_sent == sum(len(e.sent) for e in channel.transcript.events)
+    assert channel.simulated_ms >= 0.0
+    seqs = [e.seq for e in channel.transcript.events]
+    assert seqs == sorted(seqs)
+    # every call event names a fragment that exists
+    registry = sp.registry()
+    frags_by_name = {name: frags for name, frags, _s in registry.values()}
+    for e in channel.transcript.events:
+        if e.kind == "call":
+            assert e.label in frags_by_name[e.fn_name]
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_deploy_roundtrip_identical(program):
+    sp, _ = _first_split(program)
+    if sp is None:
+        return
+    deployed = import_split(export_split(sp))
+    for args in [(1, 2), (-5, 7)]:
+        direct = run_split(sp, args=args)
+        redeployed = run_split(deployed, args=args)
+        assert redeployed.output == direct.output
+        assert redeployed.interactions == direct.interactions
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_interpreter_deterministic(program):
+    first = run_original(program, args=(4, 5))
+    second = run_original(program, args=(4, 5))
+    assert first.output == second.output
+    assert first.steps_open == second.steps_open
+
+
+# -- estimator soundness on straight-line programs ----------------------------
+
+
+@st.composite
+def straightline_programs(draw):
+    """Single-path programs: decl chains over x, y plus array stores.  No
+    branches or loops, so path mixing cannot confound the empirical
+    classification."""
+    names = ["x", "y"]
+    stmts = []
+    n_vars = draw(st.integers(min_value=1, max_value=4))
+    ops = st.sampled_from(["+", "-", "*"])
+    for i in range(n_vars):
+        left = draw(st.sampled_from(names))
+        right = draw(st.sampled_from(names + [str(draw(st.integers(1, 9)))]))
+        op = draw(ops)
+        if op == "-" and not right.isdigit():
+            # var - var can cancel semantically (x - x, or two equal
+            # chains) while staying syntactically linear; the paper's
+            # estimator performs "no symbolic evaluation", so such
+            # algebraic degeneracies legitimately over-claim.  Keeping all
+            # variable terms positively signed excludes them from the
+            # soundness property.
+            op = "+"
+        rhs = b.binop(op, b.var(left), b.lit(int(right)) if right.isdigit() else b.var(right))
+        var = "v%d" % i
+        stmts.append(b.decl("int", var, rhs))
+        names.append(var)
+    store_vars = draw(
+        st.lists(st.sampled_from(names[2:]), min_size=1, max_size=3, unique=True)
+    )
+    for slot, name in enumerate(store_vars):
+        stmts.append(b.assign(b.index("B", slot), b.add(name, slot)))
+    stmts.append(b.ret(b.var(names[-1])))
+    f = b.func("f", [("int", "x"), ("int", "y"), ("int[]", "B")], "int", stmts)
+    run = b.func(
+        "run",
+        [("int", "x"), ("int", "y")],
+        "int",
+        [
+            b.decl("int[]", "B", b.new_array("int", 8)),
+            b.ret(b.call("f", "x", "y", "B")),
+        ],
+    )
+    main = b.func("main", [], "void", [b.print_(b.call("run", 1, 2))])
+    return b.program(functions=[f, run, main])
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(straightline_programs())
+def test_estimator_is_lower_bound_on_single_path(program):
+    checker = check_program(program)
+    fn = program.function("f")
+    analysis = analyze_function(fn, checker)
+    variables = splittable_variables(fn, analysis)
+    if not variables:
+        return
+    try:
+        sp = split_program(program, checker, [("f", variables[0])])
+    except SplitError:
+        return
+    split = sp.splits["f"]
+    static = {}
+    for c in estimate_split_complexities(split, analysis):
+        static.setdefault(c.ilp.label, c.ac)
+
+    rng = random.Random(5)
+    targets = leaking_labels(sp)
+    merged = {}
+    for _ in range(40):
+        args = (rng.randint(-8, 8), rng.randint(-8, 8))
+        result = run_split(sp, entry="run", args=args)
+        for key, trace in collect_traces(result.channel.transcript, targets).items():
+            if key not in merged:
+                merged[key] = trace
+            else:
+                for features, value in trace.rows:
+                    merged[key].add(features, value)
+
+    for (fn_name, label), trace in merged.items():
+        if len(trace) < 10:
+            continue
+        ac = static.get(label)
+        if ac is None:
+            continue
+        empirical = classify_trace(trace)
+        assert consistent_with_estimate(empirical, ac), (
+            "estimator over-claimed: fragment %s#%d static %r but empirical %r"
+            % (fn_name, label, ac, empirical)
+        )

@@ -1,0 +1,228 @@
+"""Real-network hidden-component server tests (TCP, localhost).
+
+The paper's actual deployment: open component on one machine, hidden
+component on another.  These tests serve the hidden component on an
+ephemeral local port and run the open component against it.
+"""
+
+import pytest
+
+from repro.core.classes import split_class
+from repro.core.globals import hide_global
+from repro.core.program import split_program
+from repro.lang import parse_program, check_program
+from repro.runtime.remote import remote_server, run_split_remote
+from repro.runtime.splitrun import run_original, run_split
+from repro.runtime.values import RuntimeErr
+
+
+FIG2 = """
+func int f(int x, int y, int z, int[] B) {
+    int a = 3 * x + y;
+    int i = a;
+    int sum = 0;
+    while (i < z) { sum = sum + i; i = i + 1; }
+    if (sum > 50) { B[0] = sum / 2; } else { B[0] = 0; }
+    return sum;
+}
+func void main(int x, int y) {
+    int[] B = new int[2];
+    print(f(x, y, 25, B));
+    print(B[0]);
+}
+"""
+
+ARRAYS = """
+func int total(int n, int[] A, int[] B) {
+    int acc = 0;
+    int j = 0;
+    while (j < n) { acc = acc + A[j]; j = j + 1; }
+    B[0] = acc;
+    return acc;
+}
+func void main(int n) {
+    int[] A = new int[10];
+    int[] B = new int[2];
+    for (int k = 0; k < 10; k = k + 1) { A[k] = k * 3; }
+    print(total(n, A, B));
+    print(B[0]);
+}
+"""
+
+
+def make(source, choices):
+    program = parse_program(source)
+    checker = check_program(program)
+    return program, split_program(program, checker, choices)
+
+
+def test_remote_run_matches_original():
+    program, sp = make(FIG2, [("f", "a")])
+    with remote_server(sp) as address:
+        for args in [(1, 2), (4, 4), (0, 0)]:
+            original = run_original(program, args=args)
+            remote = run_split_remote(sp, address, args=args)
+            assert remote.output == original.output
+
+
+def test_remote_traffic_matches_simulated():
+    _, sp = make(FIG2, [("f", "a")])
+    local = run_split(sp, args=(3, 3))
+    with remote_server(sp) as address:
+        remote = run_split_remote(sp, address, args=(3, 3))
+    assert remote.interactions == local.interactions
+
+
+def test_remote_callbacks_for_array_access():
+    program, sp = make(ARRAYS, [("total", "acc")])
+    with remote_server(sp) as address:
+        original = run_original(program, args=(7,))
+        remote = run_split_remote(sp, address, args=(7,))
+        assert remote.output == original.output
+        kinds = {e.kind for e in remote.channel.transcript.events}
+        assert "cb_fetch" in kinds  # hidden loop pulled elements over TCP
+
+
+def test_remote_sessions_isolated():
+    # two sequential client sessions each get fresh hidden state
+    source = """
+    global int counter = 0;
+    func void bump() { counter = counter + 7; }
+    func void main() { bump(); print(counter); }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = hide_global(program, checker, "counter")
+    with remote_server(sp) as address:
+        first = run_split_remote(sp, address)
+        second = run_split_remote(sp, address)
+    assert first.output == ["7"]
+    assert second.output == ["7"]  # not 14: per-session state
+
+
+def test_remote_class_splitting_instance_protocol():
+    source = """
+    class Vault {
+        field int gems;
+        method void add(int n) { gems = gems + n; }
+        method int count() { return gems; }
+    }
+    func void main(int n) {
+        Vault a = new Vault();
+        Vault b = new Vault();
+        a.add(n);
+        b.add(n * 10);
+        a.add(1);
+        print(a.count());
+        print(b.count());
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = split_class(program, checker, "Vault")
+    with remote_server(sp) as address:
+        original = run_original(program, args=(4,))
+        remote = run_split_remote(sp, address, args=(4,))
+    assert remote.output == original.output == ["5", "40"]
+
+
+def test_remote_server_reports_errors():
+    _, sp = make(FIG2, [("f", "a")])
+    with remote_server(sp) as address:
+        from repro.runtime.remote import RemoteHiddenRuntime
+
+        runtime = RemoteHiddenRuntime(address)
+        try:
+            with pytest.raises(RuntimeErr):
+                runtime.call(999, 0, [], None)  # no such activation
+            # the connection survives the error
+            hid = runtime.open_activation(0)
+            assert isinstance(hid, int)
+        finally:
+            runtime.close()
+
+
+def test_remote_deployed_manifest():
+    """Full deployment story: manifest -> import on 'server machine' ->
+    serve -> client runs the open component against it."""
+    from repro.core.deploy import export_split, import_split
+
+    program, sp = make(FIG2, [("f", "a")])
+    deployed = import_split(export_split(sp))
+    with remote_server(deployed) as address:
+        original = run_original(program, args=(2, 5))
+        remote = run_split_remote(deployed, address, args=(2, 5))
+    assert remote.output == original.output
+
+
+def test_remote_via_subprocess_cli(tmp_path):
+    """The strongest deployment claim: hidden component hosted by a
+    separate OS process (`python -m repro serve`), client in this one."""
+    import re
+    import subprocess
+    import sys
+    import time
+
+    from repro.core.deploy import export_split_json, import_split
+    from repro.runtime.remote import run_split_remote
+
+    program, sp = make(FIG2, [("f", "a")])
+    manifest = tmp_path / "manifest.json"
+    manifest.write_text(export_split_json(sp))
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(manifest), "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd="/root/repo",
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"serving on ([\d.]+):(\d+)", line)
+        assert match, "unexpected serve banner: %r" % line
+        address = (match.group(1), int(match.group(2)))
+        deadline = time.time() + 5
+        original = run_original(program, args=(2, 3))
+        remote = run_split_remote(sp, address, args=(2, 3))
+        assert remote.output == original.output
+        assert time.time() < deadline
+    finally:
+        proc.terminate()
+        proc.wait(timeout=5)
+
+
+def test_remote_concurrent_clients_isolated():
+    """Two clients connected at once must not see each other's hidden
+    state (one thread + fresh HiddenServer per connection)."""
+    import threading
+
+    source = """
+    global int tally = 0;
+    func void add(int k) { tally = tally + k; }
+    func int read_tally() { return tally; }
+    func void main(int k) {
+        add(k);
+        add(k);
+        print(read_tally());
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = hide_global(program, checker, "tally")
+    results = {}
+
+    def client(tag, k):
+        results[tag] = run_split_remote(sp, address, args=(k,)).output
+
+    with remote_server(sp) as address:
+        threads = [
+            threading.Thread(target=client, args=("a", 5)),
+            threading.Thread(target=client, args=("b", 100)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+    assert results["a"] == ["10"]   # 2*5, unpolluted by the other client
+    assert results["b"] == ["200"]  # 2*100

@@ -1,0 +1,126 @@
+"""Self-contained method analysis tests (Table 1 machinery)."""
+
+from repro.lang import parse_program
+from repro.analysis.selfcontained import (
+    analyze_self_contained,
+    is_initializer,
+    is_self_contained,
+    statement_count,
+)
+
+
+def fn_of(source):
+    program = parse_program(source)
+    return program.all_functions()[0], program
+
+
+def test_pure_scalar_method_is_self_contained():
+    fn, p = fn_of("func int f(int x, int y) { int t = x * y; return t + 1; }")
+    assert is_self_contained(fn, p)
+
+
+def test_builtin_math_allowed():
+    fn, p = fn_of("func float f(float x) { return sqrt(x) + 1.0; }")
+    assert is_self_contained(fn, p)
+
+
+def test_scalar_field_access_allowed():
+    fn, p = fn_of(
+        "class C { field int v; method int m(int x) { return v + x; } }"
+    )
+    assert is_self_contained(fn, p)
+
+
+def test_call_disqualifies():
+    source = "func int g() { return 1; } func int f() { return g(); }"
+    program = parse_program(source)
+    f = program.function("f")
+    assert not is_self_contained(f, program)
+
+
+def test_array_access_disqualifies():
+    fn, p = fn_of("func int f(int[] a) { return a[0]; }")
+    assert not is_self_contained(fn, p)
+
+
+def test_array_param_disqualifies_even_unused():
+    fn, p = fn_of("func int f(int[] a, int x) { return x; }")
+    assert not is_self_contained(fn, p)
+
+
+def test_allocation_disqualifies():
+    fn, p = fn_of("func int f() { int[] t = new int[2]; return 0; }")
+    assert not is_self_contained(fn, p)
+
+
+def test_print_disqualifies():
+    fn, p = fn_of("func void f(int x) { print(x); }")
+    assert not is_self_contained(fn, p)
+
+
+def test_method_call_disqualifies():
+    fn, p = fn_of(
+        "class C { field int v; method int a() { return 1; } "
+        "method int b(C o) { return o.a(); } }"
+    )
+    b = p.function("C.b")
+    assert not is_self_contained(b, p)
+
+
+def test_statement_count_counts_headers_once():
+    fn, _ = fn_of(
+        "func int f(int x) { int s = 0; while (x > 0) { s = s + x; x = x - 1; } return s; }"
+    )
+    # decl, while header, two body stmts, return
+    assert statement_count(fn) == 5
+
+
+def test_initializer_by_shape():
+    fn, _ = fn_of(
+        "class C { field int a; field int b; method void setup(int p) "
+        "{ a = p; b = 3; } }"
+    )
+    assert is_initializer(fn)
+
+
+def test_initializer_by_name():
+    fn, _ = fn_of("class C { field int a; method void init() { a = a; } }")
+    assert is_initializer(fn)
+
+
+def test_computation_is_not_initializer():
+    fn, _ = fn_of(
+        "class C { field int a; method void update(int p) { a = p * 2; } }"
+    )
+    assert not is_initializer(fn)
+
+
+def test_table1_pipeline():
+    source = """
+    class C {
+        field int a;
+        field int b;
+        method int tiny(int x) { return x + 1; }
+        method int big(int x, int y) {
+            int t0 = x + y; int t1 = t0 * 2; int t2 = t1 - x; int t3 = t2 + 1;
+            int t4 = t3 * 3; int t5 = t4 - y; int t6 = t5 + 2; int t7 = t6 * 2;
+            int t8 = t7 - 1; int t9 = t8 + x;
+            return t9;
+        }
+        method void fill(int p) {
+            a = p; b = 0; a = 1; b = 2; a = 3; b = 4; a = 5; b = 6; a = 7;
+            b = 8; a = 9; b = 10;
+        }
+        method int arrays(int[] d) { return d[0]; }
+    }
+    """
+    program = parse_program(source)
+    report = analyze_self_contained(program, "t")
+    assert report.total == 4
+    names = {f.name for f in report.self_contained}
+    assert names == {"tiny", "big", "fill"}
+    large = {f.name for f in report.large}
+    assert large == {"big", "fill"}
+    non_init = {f.name for f in report.non_initializer}
+    assert non_init == {"big"}
+    assert report.rows()[0] == ("Number of Methods", 4)

@@ -1,0 +1,203 @@
+"""Forward slice construction tests (the core of Section 2.2)."""
+
+from repro.lang import parse_program, check_program
+from repro.analysis.function import analyze_function
+from repro.analysis.slicing import SliceKind, backward_slice, forward_slice
+
+
+def slice_of(source, fn_name, var):
+    program = parse_program(source)
+    checker = check_program(program)
+    fn = program.function(fn_name)
+    analysis = analyze_function(fn, checker)
+    return forward_slice(fn, var, analysis.defuse, analysis.local_types), fn, analysis
+
+
+FIG2 = """
+func int f(int x, int y, int z, int[] B) {
+    int a;
+    int i;
+    int sum;
+    sum = B[0];
+    a = 3 * x + y;
+    B[1] = a;
+    i = a;
+    while (i < z) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    if (sum > 100) {
+        sum = sum - 100;
+        B[2] = sum;
+    } else {
+        B[2] = 0;
+    }
+    return sum;
+}
+"""
+
+
+def kinds_by_text(sl):
+    from repro.lang import pretty_stmt
+
+    return {
+        pretty_stmt(stmt).strip().split("\n")[0]: kind
+        for stmt, kind in sl.statements.items()
+    }
+
+
+def test_fig2_slice_contents():
+    sl, fn, _ = slice_of(FIG2, "f", "a")
+    kinds = kinds_by_text(sl)
+    assert kinds["a = 3 * x + y;"] == SliceKind.FULL
+    assert kinds["B[1] = a;"] == SliceKind.RHS
+    assert kinds["i = a;"] == SliceKind.FULL
+    assert kinds["sum = sum + i;"] == SliceKind.FULL
+    assert kinds["i = i + 1;"] == SliceKind.FULL
+    assert kinds["sum = sum - 100;"] == SliceKind.FULL
+    assert kinds["B[2] = sum;"] == SliceKind.RHS
+    assert kinds["return sum;"] == SliceKind.RHS
+    # the open def of sum is NOT in the slice (forward closure only)
+    assert "sum = B[0];" not in kinds
+
+
+def test_fig2_hidden_variables():
+    sl, _, _ = slice_of(FIG2, "f", "a")
+    assert sl.hidden_vars == {"a", "i", "sum"}
+    assert "a" in sl.all_defs_hidden
+    assert "i" in sl.all_defs_hidden
+    assert "sum" not in sl.all_defs_hidden  # sum = B[0] is an open def
+
+
+def test_fig2_conditions_reached():
+    sl, fn, _ = slice_of(FIG2, "f", "a")
+    cond_types = {type(s).__name__ for s in sl.cond_statements}
+    assert cond_types == {"While", "If"}
+
+
+def test_slice_size_counts_conditions():
+    sl, _, _ = slice_of(FIG2, "f", "a")
+    assert sl.size() == len(sl.statements) + 2
+
+
+def test_slice_terminates_at_array_store():
+    src = """
+    func void f(int x, int[] B) {
+        int a = x * 2;
+        B[0] = a;
+        int c = B[0] + 1;
+        B[1] = c;
+    }
+    """
+    sl, fn, _ = slice_of(src, "f", "a")
+    kinds = kinds_by_text(sl)
+    assert kinds["B[0] = a;"] == SliceKind.RHS
+    # c reads B[0], not `a` directly: the slice must NOT flow through the
+    # array element
+    assert "int c = B[0] + 1;" not in kinds
+    assert "c" not in sl.hidden_vars
+
+
+def test_case_ii_call_in_rhs():
+    src = """
+    func int g(int v) { return v * 2; }
+    func void f(int x, int[] B) {
+        int a = x + 1;
+        int b = g(a);
+        B[0] = b;
+    }
+    """
+    sl, _, _ = slice_of(src, "f", "a")
+    kinds = kinds_by_text(sl)
+    assert kinds["int b = g(a);"] == SliceKind.LHS
+    assert "b" in sl.hidden_vars  # the lhs continues the slice
+    assert kinds["B[0] = b;"] == SliceKind.RHS
+
+
+def test_call_statement_is_use_kind():
+    src = """
+    func void g(int v) { print(v); }
+    func void f(int x) {
+        int a = x + 1;
+        g(a);
+    }
+    """
+    sl, _, _ = slice_of(src, "f", "a")
+    kinds = kinds_by_text(sl)
+    assert kinds["g(a);"] == SliceKind.USE
+
+
+def test_print_is_rhs_kind():
+    sl, _, _ = slice_of(
+        "func void f(int x) { int a = x * 3; print(a + 1); }", "f", "a"
+    )
+    kinds = kinds_by_text(sl)
+    assert kinds["print(a + 1);"] == SliceKind.RHS
+
+
+def test_unrelated_code_not_in_slice():
+    src = """
+    func void f(int x, int[] B) {
+        int a = x + 1;
+        int other = x * 5;
+        B[0] = a;
+        B[1] = other;
+    }
+    """
+    sl, _, _ = slice_of(src, "f", "a")
+    kinds = kinds_by_text(sl)
+    assert "int other = x * 5;" not in kinds
+    assert "B[1] = other;" not in kinds
+    assert sl.hidden_vars == {"a"}
+
+
+def test_field_store_terminates_slice():
+    src = """
+    class C { field int v; }
+    func void f(int x, C c) {
+        int a = x + 1;
+        c.v = a;
+    }
+    """
+    sl, _, _ = slice_of(src, "f", "a")
+    kinds = kinds_by_text(sl)
+    assert kinds["c.v = a;"] == SliceKind.RHS
+
+
+def test_global_assignment_is_rhs():
+    src = """
+    global int g;
+    func void f(int x) {
+        int a = x + 1;
+        g = a;
+    }
+    """
+    sl, _, _ = slice_of(src, "f", "a")
+    kinds = kinds_by_text(sl)
+    assert kinds["g = a;"] == SliceKind.RHS
+    assert "g" not in sl.hidden_vars
+
+
+def test_slicing_a_parameter():
+    sl, _, _ = slice_of(
+        "func int f(int x, int[] B) { B[0] = x; int b = x + 1; return b; }",
+        "f",
+        "x",
+    )
+    assert "x" in sl.hidden_vars
+    assert "b" in sl.hidden_vars
+
+
+def test_backward_slice():
+    program = parse_program(FIG2)
+    checker = check_program(program)
+    fn = program.function("f")
+    analysis = analyze_function(fn, checker)
+    ret = fn.body[-1]
+    stmts = backward_slice(fn, ret, analysis.defuse, analysis.control_deps, analysis.cfg)
+    from repro.lang import pretty_stmt
+
+    texts = {pretty_stmt(s).strip().split("\n")[0] for s in stmts}
+    assert "sum = B[0];" in texts
+    assert "a = 3 * x + y;" in texts  # via i, via loop condition control dep
+    assert "B[1] = a;" not in texts  # pure side effect, does not affect return

@@ -1,0 +1,277 @@
+"""Semantic equivalence of split programs — the transformation's central
+correctness property, checked on hand-written scenarios and on randomly
+generated programs (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+
+from repro.lang import parse_program, check_program
+from repro.analysis.function import analyze_function
+from repro.core.program import split_program
+from repro.core.selection import splittable_variables
+from repro.core.splitter import SplitError
+from repro.runtime.splitrun import check_equivalence, run_split
+
+from tests.genprograms import programs
+
+
+def assert_equivalent(source, choices, entry="main", arg_sets=((),)):
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = split_program(program, checker, choices)
+    for args in arg_sets:
+        check_equivalence(program, sp, entry=entry, args=args)
+    return sp
+
+
+def test_fig2_program():
+    source = """
+    func int f(int x, int y, int z, int[] B) {
+        int a;
+        int i;
+        int sum;
+        sum = B[0];
+        a = 3 * x + y;
+        B[1] = a;
+        i = a;
+        while (i < z) { sum = sum + i; i = i + 1; }
+        if (sum > 100) { sum = sum - 100; B[2] = sum; } else { B[2] = 0; }
+        return sum;
+    }
+    func void main(int x, int y) {
+        int[] B = new int[4];
+        B[0] = x + y;
+        print(f(x, y, 20, B));
+        print(B[1]);
+        print(B[2]);
+    }
+    """
+    assert_equivalent(source, [("f", "a")], arg_sets=[(0, 0), (2, 3), (9, 9), (5, 0)])
+
+
+def test_recursive_split_function_instances():
+    # a split *recursive* function: each live instance needs its own hidden
+    # activation (the paper's instance ids)
+    source = """
+    func int fact(int n, int[] B) {
+        int acc = n * 2;
+        B[0] = acc;
+        if (n <= 1) { return 1; }
+        int rest = fact(n - 1, B);
+        int r = acc * rest;
+        B[1] = r;
+        return r;
+    }
+    func void main(int n) {
+        int[] B = new int[4];
+        print(fact(n, B));
+        print(B[0]);
+        print(B[1]);
+    }
+    """
+    assert_equivalent(source, [("fact", "acc")], arg_sets=[(1,), (3,), (6,)])
+
+
+def test_multiple_functions_split():
+    source = """
+    func int f(int x, int[] B) { int a = x * 3; B[0] = a; return a + 1; }
+    func int g(int x, int[] B) { int c = x - 7; B[1] = c * c; return c; }
+    func void main(int x) {
+        int[] B = new int[4];
+        print(f(x, B) + g(x, B));
+        print(B[0]); print(B[1]);
+    }
+    """
+    assert_equivalent(source, [("f", "a"), ("g", "c")], arg_sets=[(0,), (4,), (11,)])
+
+
+def test_split_method_of_class():
+    source = """
+    class Acc {
+        field int total;
+        method int push(int v, int[] B) {
+            int t = v * 2 + 1;
+            B[0] = t;
+            total = total + t;
+            return t;
+        }
+    }
+    func void main(int x) {
+        int[] B = new int[4];
+        Acc a = new Acc();
+        print(a.push(x, B));
+        print(a.push(x + 1, B));
+        print(a.total);
+    }
+    """
+    assert_equivalent(source, [("Acc.push", "t")], arg_sets=[(0,), (5,)])
+
+
+def test_hidden_loop_reading_array_elements():
+    # the javac case: hidden loop fetches array elements via callbacks
+    source = """
+    func int total(int n, int[] A, int[] B) {
+        int acc = 0;
+        int j = 0;
+        while (j < n) {
+            acc = acc + A[j];
+            j = j + 1;
+        }
+        B[0] = acc;
+        return acc;
+    }
+    func void main(int n) {
+        int[] A = new int[10];
+        int[] B = new int[2];
+        for (int k = 0; k < 10; k = k + 1) { A[k] = k * 3; }
+        print(total(n, A, B));
+        print(B[0]);
+    }
+    """
+    sp = assert_equivalent(source, [("total", "acc")], arg_sets=[(0,), (5,), (10,)])
+    # each iteration fetches one element: interactions grow with n
+    r5 = run_split(sp, args=(5,))
+    r10 = run_split(sp, args=(10,))
+    assert r10.interactions > r5.interactions
+
+
+def test_float_computation():
+    source = """
+    func float blend(float x, float y, float[] F) {
+        float u = x * 2.0 + y;
+        float d = y + u * u;
+        float r = u / d;
+        F[0] = r;
+        return r;
+    }
+    func void main() {
+        float[] F = new float[2];
+        print(blend(1.5, 2.0, F));
+        print(F[0]);
+    }
+    """
+    assert_equivalent(source, [("blend", "u")])
+
+
+def test_booleans_hidden():
+    source = """
+    func int classify(int x, int[] B) {
+        bool big = x > 100;
+        int out = 0;
+        if (big) { out = 2; } else { out = 1; }
+        B[0] = out;
+        return out;
+    }
+    func void main(int x) {
+        int[] B = new int[2];
+        print(classify(x, B));
+    }
+    """
+    assert_equivalent(source, [("classify", "big")], arg_sets=[(5,), (200,)])
+
+
+def test_split_function_called_conditionally():
+    source = """
+    func int f(int x, int[] B) { int a = x + 2; B[0] = a; return a; }
+    func void main(int x) {
+        int[] B = new int[2];
+        if (x > 0) { print(f(x, B)); } else { print(0); }
+    }
+    """
+    assert_equivalent(source, [("f", "a")], arg_sets=[(1,), (-1,)])
+
+
+def test_nested_hidden_constructs():
+    source = """
+    func int nest(int x, int y, int[] B) {
+        int s = x;
+        int i = 0;
+        while (i < y) {
+            if (s > 10) { s = s - 10; } else { s = s + i; }
+            i = i + 1;
+        }
+        B[0] = s;
+        return s;
+    }
+    func void main(int x, int y) {
+        int[] B = new int[2];
+        print(nest(x, y, B));
+    }
+    """
+    assert_equivalent(source, [("nest", "s")], arg_sets=[(0, 0), (5, 3), (50, 8)])
+
+
+def test_break_blocks_full_hiding_but_stays_correct():
+    source = """
+    func int find(int x, int[] A, int[] B) {
+        int t = x * 2;
+        int i = 0;
+        while (i < 8) {
+            if (A[i] == t) { break; }
+            i = i + 1;
+        }
+        B[0] = t + i;
+        return i;
+    }
+    func void main(int x) {
+        int[] A = new int[8];
+        int[] B = new int[2];
+        for (int k = 0; k < 8; k = k + 1) { A[k] = k; }
+        print(find(x, A, B));
+        print(B[0]);
+    }
+    """
+    assert_equivalent(source, [("find", "t")], arg_sets=[(0,), (2,), (50,)])
+
+
+def test_for_loop_with_hidden_header_desugars():
+    source = """
+    func int rowsum(int x, int[] B) {
+        int n = x + 3;
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + i; }
+        B[0] = s;
+        return s;
+    }
+    func void main(int x) {
+        int[] B = new int[2];
+        print(rowsum(x, B));
+    }
+    """
+    assert_equivalent(source, [("rowsum", "n")], arg_sets=[(0,), (4,)])
+
+
+def test_continue_with_hidden_for_header_rejected():
+    source = """
+    func int f(int x, int[] B) {
+        int n = x + 3;
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            if (i == 1) { continue; }
+            s = s + i;
+        }
+        B[0] = s;
+        return s;
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    with pytest.raises(SplitError):
+        split_program(program, checker, [("f", "n")])
+
+
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_random_programs_split_equivalent(program):
+    """Property: for every generated program and every splittable local, the
+    split program is observationally equivalent to the original."""
+    checker = check_program(program)
+    fn = program.function("f")
+    analysis = analyze_function(fn, checker)
+    for var in splittable_variables(fn, analysis):
+        try:
+            sp = split_program(program, checker, [("f", var)])
+        except SplitError:
+            continue
+        for args in [(0, 0), (3, 5), (-4, 7)]:
+            check_equivalence(program, sp, args=args)

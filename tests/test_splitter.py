@@ -1,0 +1,351 @@
+"""Splitting transformation unit tests: fragments, ILPs, options."""
+
+import pytest
+
+from repro.lang import ast, parse_program, check_program
+from repro.analysis.function import analyze_function
+from repro.core.hidden import FragmentKind
+from repro.core.splitter import SplitError, SplitOptions, split_function
+from repro.core.program import split_program
+
+
+def split(source, fn_name, var, options=None):
+    program = parse_program(source)
+    checker = check_program(program)
+    fn = program.function(fn_name)
+    analysis = analyze_function(fn, checker)
+    return split_function(fn, var, analysis, options=options), program, checker
+
+
+FIG2 = """
+func int f(int x, int y, int z, int[] B) {
+    int a;
+    int i;
+    int sum;
+    sum = B[0];
+    a = 3 * x + y;
+    B[1] = a;
+    i = a;
+    while (i < z) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    if (sum > 100) {
+        sum = sum - 100;
+        B[2] = sum;
+    } else {
+        B[2] = 0;
+    }
+    return sum;
+}
+"""
+
+
+def test_fig2_fragment_inventory():
+    sf, _, _ = split(FIG2, "f", "a")
+    kinds = sorted(f.kind for f in sf.fragments.values())
+    assert kinds.count(FragmentKind.PRED) == 1  # sum > 100
+    assert kinds.count(FragmentKind.SET) == 1  # sum = B[0]
+    assert kinds.count(FragmentKind.STMTS) >= 2  # a=3x+y ; loop run
+    assert kinds.count(FragmentKind.EXPR) == 3  # B[1], B[2], return
+
+
+def test_fig2_ilp_inventory():
+    sf, _, _ = split(FIG2, "f", "a")
+    assert len(sf.ilps) == 4
+    kinds = sorted(ilp.kind for ilp in sf.ilps)
+    assert kinds == ["pred", "return", "value", "value"]
+
+
+def test_fig2_variable_classification():
+    sf, _, _ = split(FIG2, "f", "a")
+    assert sf.hidden_vars == {"a", "i", "sum"}
+    assert "a" in sf.fully_hidden
+    assert "i" in sf.fully_hidden
+    assert "sum" in sf.partially_hidden  # its open def sends an update
+
+
+def test_fig2_control_flow_hidden():
+    sf, program, _ = split(FIG2, "f", "a")
+    fn = program.function("f")
+    loop = [s for s in fn.body if isinstance(s, ast.While)][0]
+    branch = [s for s in fn.body if isinstance(s, ast.If)][0]
+    assert loop in sf.hidden_constructs
+    assert branch not in sf.hidden_constructs  # B[2]=... keeps it open
+    assert branch in sf.pred_constructs
+
+
+def test_open_component_has_no_hidden_variable_references():
+    sf, _, _ = split(FIG2, "f", "a")
+    for stmt in ast.walk_stmts(sf.open_fn.body):
+        for expr in ast.stmt_exprs(stmt):
+            if isinstance(expr, ast.VarRef):
+                assert expr.name not in sf.hidden_vars, (
+                    "open component still references hidden %r" % expr.name
+                )
+
+
+def test_fragments_reference_no_open_locals_except_params():
+    sf, _, _ = split(FIG2, "f", "a")
+    for frag in sf.fragments.values():
+        allowed = sf.hidden_vars | set(frag.params) | {"B"}
+        roots = list(frag.body)
+        if frag.result_expr is not None:
+            roots.append(frag.result_expr)
+        for root in roots:
+            exprs = (
+                ast.stmt_exprs(root) if isinstance(root, ast.Stmt) else ast.walk_exprs(root)
+            )
+            for expr in exprs:
+                if isinstance(expr, ast.VarRef):
+                    assert expr.name in allowed
+
+
+def test_labels_unique_and_dense():
+    sf, _, _ = split(FIG2, "f", "a")
+    labels = sorted(sf.fragments)
+    assert labels == list(range(len(labels)))
+
+
+def test_non_scalar_variable_rejected():
+    with pytest.raises(SplitError):
+        split("func void f(int x) { int[] a = new int[2]; a[0] = x; }", "f", "a")
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(SplitError):
+        split("func void f(int x) { print(x); }", "f", "nope")
+
+
+def test_reserved_name_rejected():
+    with pytest.raises(SplitError):
+        split("func void f(int x) { int hcall = x; print(hcall); }", "f", "hcall")
+
+
+def test_hidden_parameter_sends_initial_value():
+    sf, _, _ = split(
+        "func int f(int x, int[] B) { B[0] = x * 2; int b = x + 1; return b; }",
+        "f",
+        "x",
+    )
+    # first statements: __hid = hopen(...); hcall(set x, x)
+    first = sf.open_fn.body[1]
+    assert isinstance(first, ast.CallStmt)
+    assert first.call.name == "hcall"
+    assert "x" in sf.partially_hidden
+
+
+def test_case_ii_call_rhs_sent():
+    source = """
+    func int g(int v) { return v * 3; }
+    func int f(int x, int[] B) {
+        int a = x + 1;
+        int b = g(a);
+        B[0] = b;
+        return b;
+    }
+    """
+    sf, _, _ = split(source, "f", "a")
+    set_frags = [f for f in sf.fragments.values() if f.kind == FragmentKind.SET]
+    assert any(f.set_var == "b" for f in set_frags)
+    # fetch of `a` feeds the open call g(a): an ILP
+    assert any(ilp.leaked_var == "a" for ilp in sf.ilps)
+
+
+def test_hide_control_flow_option_off():
+    options = SplitOptions(hide_control_flow=False)
+    sf, _, _ = split(FIG2, "f", "a", options=options)
+    assert sf.hidden_constructs == set()
+    # the loop condition now leaks as a pred fragment instead
+    preds = [f for f in sf.fragments.values() if f.kind == FragmentKind.PRED]
+    assert len(preds) == 2  # i < z and sum > 100
+
+
+def test_hide_predicates_option_off():
+    options = SplitOptions(hide_predicates=False)
+    sf, _, _ = split(FIG2, "f", "a", options=options)
+    # the branch condition is now rebuilt from raw fetches: the ILP leaks
+    # `sum` directly rather than a boolean
+    pred_ilps = [ilp for ilp in sf.ilps if ilp.kind == "pred"]
+    assert pred_ilps == []
+    assert any(ilp.leaked_var == "sum" for ilp in sf.ilps)
+
+
+def test_return_rewrite_closes_activation_before_return():
+    sf, _, _ = split(FIG2, "f", "a")
+    stmts = sf.open_fn.body
+    ret_idx = next(i for i, s in enumerate(stmts) if isinstance(s, ast.Return))
+    closer = stmts[ret_idx - 1]
+    assert isinstance(closer, ast.CallStmt) and closer.call.name == "hclose"
+
+
+def test_split_program_replaces_functions():
+    program = parse_program(FIG2 + "func void main() { int[] B = new int[4]; print(f(1,2,3,B)); }")
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")])
+    new_f = sp.program.function("f")
+    assert new_f is sp.splits["f"].open_fn
+    # original untouched
+    assert program.function("f") is sp.splits["f"].original
+
+
+def test_split_program_duplicate_choice_rejected():
+    program = parse_program(FIG2)
+    checker = check_program(program)
+    with pytest.raises(ValueError):
+        split_program(program, checker, [("f", "a"), ("f", "sum")])
+
+
+def test_table2_counters():
+    program = parse_program(FIG2)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")])
+    assert sp.methods_sliced() == 1
+    assert sp.statements_in_slices() == sp.splits["f"].slice.size()
+    assert sp.ilp_count() == 4
+
+
+def test_registry_shape():
+    program = parse_program(FIG2)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")])
+    registry = sp.registry()
+    assert 0 in registry
+    name, fragments, storage_map = registry[0]
+    assert name == "f"
+    assert fragments is sp.splits["f"].fragments
+    assert storage_map == {}  # plain local-variable split
+
+
+def test_label_shuffling_preserves_behaviour():
+    from repro.lang import parse_program, check_program
+    from repro.runtime.splitrun import check_equivalence
+
+    source = FIG2 + (
+        "func void main(int x) { int[] B = new int[4]; print(f(x, 2, 20, B)); "
+        "print(B[1]); print(B[2]); }"
+    )
+    program = parse_program(source)
+    checker = check_program(program)
+    plain = split_program(program, checker, [("f", "a")])
+    shuffled = split_program(
+        program, checker, [("f", "a")], options=SplitOptions(label_seed=7)
+    )
+    plain_labels = sorted(plain.splits["f"].fragments)
+    shuffled_order = [
+        f.label for f in shuffled.splits["f"].fragments.values()
+    ]
+    assert sorted(shuffled_order) == plain_labels  # a permutation
+    for args in [(1,), (5,), (9,)]:
+        check_equivalence(program, shuffled, args=args)
+
+
+def test_label_shuffling_deterministic_by_seed():
+    from repro.lang import parse_program, check_program
+
+    program = parse_program(FIG2)
+    checker = check_program(program)
+    a = split_program(program, checker, [("f", "a")], options=SplitOptions(label_seed=3))
+    c = split_program(program, checker, [("f", "a")], options=SplitOptions(label_seed=3))
+    assert sorted(a.splits["f"].fragments) == sorted(c.splits["f"].fragments)
+    kinds_a = {l: f.kind for l, f in a.splits["f"].fragments.items()}
+    kinds_c = {l: f.kind for l, f in c.splits["f"].fragments.items()}
+    assert kinds_a == kinds_c
+
+
+CHATTY = """
+func int g(int v) { return v + 1; }
+func int chatty(int x, int[] B) {
+    int h = x * 3 + 1;
+    int r1 = g(h);
+    int r2 = g(h);
+    int r3 = g(h);
+    B[0] = r1 + r2 + r3;
+    return h;
+}
+"""
+
+
+def test_fetch_caching_reduces_interactions():
+    from repro.lang import parse_program, check_program
+    from repro.runtime.splitrun import check_equivalence, run_split
+    from repro.runtime.channel import LatencyModel
+
+    source = CHATTY + (
+        "func void main(int x) { int[] B = new int[4]; print(chatty(x, B)); "
+        "print(B[0]); print(B[1]); }"
+    )
+    program = parse_program(source)
+    checker = check_program(program)
+    plain = split_program(program, checker, [("chatty", "h")])
+    cached = split_program(
+        program, checker, [("chatty", "h")], options=SplitOptions(cache_fetches=True)
+    )
+    for args in [(0,), (4,), (9,)]:
+        check_equivalence(program, cached, args=args)
+    plain_run = run_split(plain, args=(4,), latency=LatencyModel.instant())
+    cached_run = run_split(cached, args=(4,), latency=LatencyModel.instant())
+    assert cached_run.interactions < plain_run.interactions
+    # fewer leak sites too
+    assert len(cached.splits["chatty"].ilps) < len(plain.splits["chatty"].ilps)
+
+
+def test_fetch_caching_invalidated_by_hidden_writes():
+    from repro.lang import parse_program, check_program
+    from repro.runtime.splitrun import check_equivalence
+
+    # the fetched value of h must NOT be reused across the stmts fragment
+    # that redefines it
+    source = """
+    func int f(int x, int[] B) {
+        int h = x + 1;
+        B[0] = h + 0;
+        h = h * 2;
+        B[1] = h + 0;
+        return h;
+    }
+    func void main(int x) {
+        int[] B = new int[4];
+        print(f(x, B));
+        print(B[0]);
+        print(B[1]);
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    cached = split_program(
+        program, checker, [("f", "h")], options=SplitOptions(cache_fetches=True)
+    )
+    for args in [(0,), (5,), (11,)]:
+        check_equivalence(program, cached, args=args)
+
+
+def test_fetch_caching_property_equivalence():
+    """Caching must never change behaviour on generated programs."""
+    from hypothesis import given, settings, HealthCheck
+    from repro.lang.typecheck import check_program as check
+    from repro.analysis.function import analyze_function
+    from repro.core.selection import splittable_variables
+    from repro.runtime.splitrun import check_equivalence
+    from tests.genprograms import programs
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def inner(program):
+        checker = check(program)
+        fn = program.function("f")
+        analysis = analyze_function(fn, checker)
+        variables = splittable_variables(fn, analysis)
+        if not variables:
+            return
+        try:
+            sp = split_program(
+                program, checker, [("f", variables[0])],
+                options=SplitOptions(cache_fetches=True),
+            )
+        except SplitError:
+            return
+        for args in [(0, 0), (3, 5), (-4, 7)]:
+            check_equivalence(program, sp, args=args)
+
+    inner()

@@ -1,0 +1,232 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.lang import ast, parse_program
+from repro.lang.errors import TypeError_
+from repro.lang.typecheck import check_program, is_assignable, promote, types_equal
+
+
+def check(source):
+    return check_program(parse_program(source))
+
+
+def check_fn(body_src, params="int x, int y, int[] A"):
+    return check("func void t(%s) { %s }" % (params, body_src))
+
+
+def rejects(body_src, params="int x, int y, int[] A"):
+    with pytest.raises(TypeError_):
+        check_fn(body_src, params)
+
+
+# -- acceptance -------------------------------------------------------------
+
+
+def test_arithmetic_and_promotion():
+    check_fn("float f = x + 2.5; int i = x * y; f = i;")
+
+
+def test_comparisons_and_logic():
+    check_fn("bool b = x < y && x != 0; if (b || !b) { }")
+
+
+def test_arrays():
+    check_fn("int[] c = new int[x]; c[0] = 1; int v = c[x - 1];")
+
+
+def test_classes_fields_methods():
+    check(
+        """
+        class P {
+            field int v;
+            method int get() { return v; }
+            method int twice() { return get() * 2; }
+        }
+        func void main() { P p = new P(); p.v = 3; print(p.twice()); }
+        """
+    )
+
+
+def test_globals_visible_in_functions():
+    check("global int g = 1; func int f() { return g + 1; }")
+
+
+def test_builtins():
+    check_fn("float r = sqrt(x) + exp(1.0) + pow(x, 2); int n = floor(r); n = len(A);")
+
+
+def test_recursion_allowed():
+    check("func int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }")
+
+
+def test_local_shadows_field():
+    check(
+        """
+        class C {
+            field int v;
+            method int m() { int v = 2; return v; }
+        }
+        """
+    )
+
+
+# -- rejections ----------------------------------------------------------------
+
+
+def test_undefined_variable():
+    rejects("x = q;")
+
+
+def test_duplicate_declaration_in_function():
+    rejects("int a = 1; int a = 2;")
+
+
+def test_duplicate_declaration_across_blocks():
+    rejects("if (x > 0) { int a = 1; } int a = 2;")
+
+
+def test_int_from_float_rejected():
+    rejects("int i = 2.5;")
+
+
+def test_condition_must_be_bool():
+    rejects("if (x) { }")
+    rejects("while (x + y) { }")
+
+
+def test_mod_requires_ints():
+    rejects("float f = 1.5; int r = x % 2; f = f % 2.0;")
+
+
+def test_logic_requires_bools():
+    rejects("bool b = x && y;")
+
+
+def test_eq_type_mismatch():
+    rejects("bool b = (x == true);")
+
+
+def test_indexing_non_array():
+    rejects("int v = x[0];")
+
+
+def test_non_int_index():
+    rejects("int v = A[1.5];")
+
+
+def test_unknown_function():
+    rejects("nosuch(x);")
+
+
+def test_wrong_arity():
+    with pytest.raises(TypeError_):
+        check("func int f(int a) { return a; } func void m() { print(f(1, 2)); }")
+
+
+def test_wrong_argument_type():
+    with pytest.raises(TypeError_):
+        check("func int f(int a) { return a; } func void m() { print(f(1.5)); }")
+
+
+def test_void_call_as_value():
+    with pytest.raises(TypeError_):
+        check("func void f() { } func void m() { print(f()); }")
+
+
+def test_return_type_mismatch():
+    with pytest.raises(TypeError_):
+        check("func int f() { return true; }")
+
+
+def test_void_return_with_value():
+    with pytest.raises(TypeError_):
+        check("func void f() { return 1; }")
+
+
+def test_break_outside_loop():
+    rejects("break;")
+
+
+def test_unknown_field():
+    with pytest.raises(TypeError_):
+        check("class C { field int v; } func void m() { C c = new C(); print(c.w); }")
+
+
+def test_unknown_method():
+    with pytest.raises(TypeError_):
+        check("class C { field int v; } func void m() { C c = new C(); c.run(); }")
+
+
+def test_unknown_class_in_new():
+    rejects("Q q = new Q();", params="int x")
+
+
+def test_duplicate_function():
+    with pytest.raises(TypeError_):
+        check("func void f() { } func void f() { }")
+
+
+def test_global_initialiser_must_be_literal():
+    with pytest.raises(TypeError_):
+        check("global int g = 1 + 2;")
+
+
+def test_for_update_may_not_declare():
+    rejects("for (int i = 0; i < 3; int j = 1) { }")
+
+
+# -- recorded facts ----------------------------------------------------------------
+
+
+def test_bindings_resolved():
+    checker = check(
+        """
+        global int g = 0;
+        class C {
+            field int v;
+            method int m(int p) { int l = p; return l + v + g; }
+        }
+        """
+    )
+    method = checker.program.classes[0].methods[0]
+    ret = method.body[1]
+    names = {
+        e.name: e.binding
+        for e in ast.walk_exprs(ret.value)
+        if isinstance(e, ast.VarRef)
+    }
+    assert names == {"l": "local", "v": "field", "g": "global"}
+
+
+def test_expr_types_recorded():
+    checker = check("func float f(int x) { return x + 0.5; }")
+    ret = checker.program.functions[0].body[0]
+    assert isinstance(checker.expr_types[ret.value], ast.FloatType)
+
+
+def test_local_types_recorded():
+    checker = check("func void f(int x) { float q = 1.0; }")
+    fn = checker.program.functions[0]
+    assert isinstance(checker.local_types[fn]["q"], ast.FloatType)
+    assert isinstance(checker.local_types[fn]["x"], ast.IntType)
+
+
+# -- helpers ------------------------------------------------------------------------
+
+
+def test_types_equal():
+    assert types_equal(ast.ArrayType(ast.IntType()), ast.ArrayType(ast.IntType()))
+    assert not types_equal(ast.ArrayType(ast.IntType()), ast.ArrayType(ast.FloatType()))
+    assert types_equal(ast.ClassType("A"), ast.ClassType("A"))
+    assert not types_equal(ast.ClassType("A"), ast.ClassType("B"))
+
+
+def test_is_assignable_promotion_only_widening():
+    assert is_assignable(ast.FloatType(), ast.IntType())
+    assert not is_assignable(ast.IntType(), ast.FloatType())
+
+
+def test_promote():
+    assert isinstance(promote(ast.IntType(), ast.FloatType()), ast.FloatType)
+    assert isinstance(promote(ast.IntType(), ast.IntType()), ast.IntType)

@@ -1,0 +1,99 @@
+"""Workload corpus tests: population shape, drivers, split equivalence."""
+
+import pytest
+
+from repro.analysis.selfcontained import analyze_self_contained
+from repro.core.pipeline import auto_split
+from repro.runtime.splitrun import check_equivalence, run_original
+from repro.workloads.corpora import CORPUS_BUILDERS, SPECS, build_corpus
+from repro.workloads.inputs import TABLE5_RUNS
+
+SCALE = 0.06  # keep the filler population small for tests
+
+
+@pytest.fixture(scope="module", params=sorted(SPECS))
+def corpus(request):
+    return build_corpus(request.param, scale=SCALE)
+
+
+def test_corpus_typechecks_and_builds(corpus):
+    assert corpus.program.all_functions()
+    assert corpus.checker is not None
+
+
+def test_corpus_is_deterministic():
+    a = build_corpus("jasmin", scale=SCALE)
+    b = build_corpus("jasmin", scale=SCALE)
+    from repro.lang import pretty
+
+    assert pretty(a.program) == pretty(b.program)
+
+
+def test_driver_runs(corpus):
+    result = run_original(corpus.program, args=(2, 30))
+    assert len(result.output) == 3
+    assert result.steps_open > 0
+
+
+def test_driver_scales_with_n(corpus):
+    small = run_original(corpus.program, args=(1, 20))
+    large = run_original(corpus.program, args=(4, 20))
+    assert large.steps_open > small.steps_open
+
+
+def test_driver_scales_with_m(corpus):
+    small = run_original(corpus.program, args=(2, 10))
+    large = run_original(corpus.program, args=(2, 200))
+    assert large.steps_open > small.steps_open
+
+
+def test_candidates_exist_and_are_splittable(corpus):
+    for name in corpus.candidate_names:
+        corpus.program.function(name)  # raises KeyError if missing
+    assert len(corpus.candidate_names) == len(SPECS[corpus.name].split_mix)
+
+
+def test_auto_split_selects_all_candidates(corpus):
+    sp = auto_split(corpus.program, corpus.checker)
+    assert set(sp.splits) == set(corpus.candidate_names)
+
+
+def test_split_corpus_runs_equivalently(corpus):
+    sp = auto_split(corpus.program, corpus.checker)
+    check_equivalence(corpus.program, sp, args=(2, 25))
+    check_equivalence(corpus.program, sp, args=(5, 10))
+
+
+def test_full_scale_method_counts_match_paper():
+    # only one corpus at full scale to keep the suite quick
+    corpus = build_corpus("jasmin", scale=1.0)
+    report = analyze_self_contained(corpus.program, "jasmin")
+    assert report.total == SPECS["jasmin"].total_methods
+    assert len(report.self_contained) == 7
+    assert len(report.large) == 5
+    assert len(report.non_initializer) == 3
+
+
+def test_scaled_self_contained_shape(corpus):
+    report = analyze_self_contained(corpus.program, corpus.name)
+    spec = SPECS[corpus.name]
+    # the filters keep their relative order at any scale
+    assert report.total >= len(report.self_contained) >= len(report.large) >= len(
+        report.non_initializer
+    )
+    if spec.sc_large_noninit == 0:
+        assert len(report.non_initializer) == 0
+
+
+def test_corpus_builders_mapping():
+    assert set(CORPUS_BUILDERS) == set(SPECS)
+    c = CORPUS_BUILDERS["javac"](scale=SCALE)
+    assert c.name == "javac"
+
+
+def test_table5_runs_reference_valid_corpora():
+    for run in TABLE5_RUNS:
+        assert run.benchmark in SPECS
+        assert run.n >= 1 and run.m >= 1
+        assert run.paper_after_s > run.paper_before_s
+        assert run.paper_increase_pct > 0
