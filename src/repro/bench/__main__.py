@@ -40,10 +40,10 @@ def main(argv=None):
         parser.error("unknown experiments: %s" % ", ".join(unknown))
 
     for name in names:
-        started = time.time()
+        started = time.perf_counter()
         result = runners[name]()
         print(result.render())
-        print("[%s regenerated in %.1fs]" % (name, time.time() - started))
+        print("[%s regenerated in %.1fs]" % (name, time.perf_counter() - started))
         print()
     return 0
 

@@ -7,6 +7,7 @@ shapes and print the reproduction next to the paper's numbers.
 
 from functools import lru_cache
 
+from repro import obs
 from repro.analysis.selfcontained import analyze_self_contained
 from repro.attack.driver import attack_split_program
 from repro.bench import paperexamples
@@ -14,7 +15,8 @@ from repro.bench.tables import Table
 from repro.core.pipeline import auto_split
 from repro.core.program import split_program
 from repro.lang import check_program, parse_program
-from repro.runtime.channel import LatencyModel
+from repro.runtime.channel import M_ROUND_TRIPS, M_SIM_MS, LatencyModel
+from repro.runtime.interpreter import M_STEPS
 from repro.runtime.splitrun import check_equivalence, run_original, run_split
 from repro.security.lattice import CType, VARYING
 from repro.security.report import analyze_split_security
@@ -229,6 +231,9 @@ def run_table5(scale=1.0, latency=None, runs=None):
 
     Executes each paper row's driver invocation on both the original and
     split corpus and reports component interactions and simulated runtimes.
+    Channel and step numbers come from the telemetry registry
+    (:mod:`repro.obs`) — each run executes under a scoped registry whose
+    counters replace the old hand-rolled accounting.
     """
     latency = latency or TABLE5_LATENCY
     runs = runs if runs is not None else TABLE5_RUNS
@@ -249,24 +254,35 @@ def run_table5(scale=1.0, latency=None, runs=None):
         corpus = _corpus(run.benchmark, scale)
         sp = split_corpus(run.benchmark, scale)
         args = (run.n, run.m)
-        before = run_original(corpus.program, args=args)
-        after = run_split(sp, args=args, latency=latency, record=False)
+        with obs.telemetry() as (reg_before, _tracer):
+            before = run_original(corpus.program, args=args)
+        with obs.telemetry() as (reg_after, _tracer):
+            after = run_split(sp, args=args, latency=latency, record=False)
         if before.output != after.output:
             raise AssertionError(
                 "split %s diverged on %s" % (run.benchmark, run.input_name)
             )
+        before_steps = reg_before.value(M_STEPS, side="open")
+        open_steps = reg_after.value(M_STEPS, side="open")
+        hidden_steps = reg_after.value(M_STEPS, side="hidden")
+        channel_ms = reg_after.value(M_SIM_MS)
+        interactions = int(reg_after.total(M_ROUND_TRIPS))
         # Per-row statement cost calibrated so the simulated baseline equals
         # the paper's: one interpreted statement stands for a fixed number
         # of real ones (see repro.workloads.inputs).
-        stmt_cost_us = run.paper_before_s * 1e6 / before.steps_open
-        before_ms = before.simulated_ms(stmt_cost_us=stmt_cost_us)
-        after_ms = after.simulated_ms(stmt_cost_us=stmt_cost_us)
+        stmt_cost_us = run.paper_before_s * 1e6 / before_steps
+        before_ms = before_steps * stmt_cost_us / 1000.0
+        after_ms = (
+            open_steps * stmt_cost_us / 1000.0
+            + hidden_steps * stmt_cost_us / 1000.0
+            + channel_ms
+        )
         pct = 100.0 * (after_ms - before_ms) / before_ms
         data.append(
             {
                 "benchmark": run.benchmark,
                 "input": run.input_name,
-                "interactions": after.interactions,
+                "interactions": interactions,
                 "before_ms": before_ms,
                 "after_ms": after_ms,
                 "increase_pct": pct,
@@ -276,7 +292,7 @@ def run_table5(scale=1.0, latency=None, runs=None):
         table.add_row(
             run.benchmark,
             run.input_name,
-            after.interactions,
+            interactions,
             "%.1f" % before_ms,
             "%.1f" % after_ms,
             "%.0f%%" % pct,
@@ -300,7 +316,8 @@ def run_fig2_experiment():
     program, checker, sp = _fig_setup(
         paperexamples.FIG2_SOURCE, paperexamples.FIG2_FUNCTION, paperexamples.FIG2_VARIABLE
     )
-    before, after = check_equivalence(program, sp)
+    with obs.telemetry() as (registry, _tracer):
+        before, after = check_equivalence(program, sp)
     report = analyze_split_security(sp, checker, "fig2")
     table = Table(
         "Fig. 2: splitting f on variable a",
@@ -311,7 +328,7 @@ def run_fig2_experiment():
     data = {
         "split": sp,
         "complexities": report.complexities,
-        "interactions": after.interactions,
+        "interactions": int(registry.total(M_ROUND_TRIPS)),
         "ilp_count": len(sp.splits[paperexamples.FIG2_FUNCTION].ilps),
     }
     return ExperimentResult("fig2", data, table)

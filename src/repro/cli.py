@@ -8,13 +8,20 @@
     python -m repro analyze PROG.mj                 # Section 3 security report
     python -m repro table1 PROG.mj                  # self-contained analysis
     python -m repro attack PROG.mj --runs 40        # recovery attempts
+    python -m repro stats PROG.mj --args 2 3        # telemetry snapshot
 
 ``PROG.mj`` is a MiniJava source file (see README for the language).  When
 ``--function/--var`` are omitted, ``split`` uses the paper's automatic
 selection (call-graph cut + max-complexity variable).
+
+``run``, ``run-split`` and ``serve`` accept ``--metrics PATH``: telemetry
+(:mod:`repro.obs`) is enabled for the whole command and the registry is
+dumped to ``PATH`` as JSON at exit.  ``stats`` prints the same snapshot to
+stdout in JSON or Prometheus text format (see docs/OBSERVABILITY.md).
 """
 
 import argparse
+import contextlib
 import sys
 
 from repro.analysis.selfcontained import analyze_self_contained
@@ -61,9 +68,28 @@ def _split_for(program, checker, args):
     return auto_split(program, checker, entry=args.entry)
 
 
+@contextlib.contextmanager
+def _metrics_sink(path):
+    """Enable telemetry for the wrapped command and dump the registry (plus
+    tracer span summary) to ``path`` as JSON at exit; no-op without a path."""
+    if not path:
+        yield
+        return
+    from repro import obs
+    from repro.obs import export
+
+    with obs.telemetry() as (registry, tracer):
+        try:
+            yield
+        finally:
+            export.write_json(path, registry, tracer)
+
+
 def cmd_run(args, out):
-    program, _ = _load(args.file)
-    result = run_original(program, entry=args.entry, args=_parse_args_list(args.args))
+    with _metrics_sink(args.metrics):
+        program, _ = _load(args.file)
+        result = run_original(program, entry=args.entry,
+                              args=_parse_args_list(args.args))
     for line in result.output:
         print(line, file=out)
     if result.value is not None:
@@ -102,34 +128,36 @@ def cmd_split(args, out):
 
 
 def cmd_run_split(args, out):
-    program, checker = _load(args.file)
-    sp = _split_for(program, checker, args)
-    run_args = _parse_args_list(args.args)
-    if args.remote:
-        from repro.runtime.remote import run_split_remote
+    with _metrics_sink(args.metrics):
+        program, checker = _load(args.file)
+        sp = _split_for(program, checker, args)
+        run_args = _parse_args_list(args.args)
+        if args.remote:
+            from repro.runtime.remote import run_split_remote
 
-        host, _, port = args.remote.rpartition(":")
-        result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
-                                  entry=args.entry, args=run_args)
-        for line in result.output:
-            print(line, file=out)
-        print(
-            "[ran against remote hidden component; %d real round trips]"
-            % result.interactions,
-            file=out,
-        )
-        return 0
-    check_equivalence(program, sp, entry=args.entry, args=run_args)
-    latency = _LATENCIES[args.latency]()
-    result = run_split(sp, entry=args.entry, args=run_args, latency=latency)
+            host, _, port = args.remote.rpartition(":")
+            result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
+                                      entry=args.entry, args=run_args)
+            for line in result.output:
+                print(line, file=out)
+            print(
+                "[ran against remote hidden component; %d real round trips]"
+                % result.interactions,
+                file=out,
+            )
+            return 0
+        check_equivalence(program, sp, entry=args.entry, args=run_args)
+        latency = _LATENCIES[args.latency]()
+        result = run_split(sp, entry=args.entry, args=run_args, latency=latency)
     for line in result.output:
         print(line, file=out)
+    summary = result.channel.transcript.summary()
     print(
         "[split verified equivalent; %d interactions, %.2f ms channel time, "
         "%d open + %d hidden statements]"
         % (
-            result.interactions,
-            result.channel.simulated_ms,
+            summary["round_trips"],
+            summary["simulated_ms"],
             result.steps_open,
             result.steps_hidden,
         ),
@@ -189,22 +217,44 @@ def cmd_serve(args, out):
     from repro.core.deploy import import_split
     from repro.runtime.remote import HiddenComponentServer
 
-    with open(args.manifest) as f:
-        deployed = import_split(f.read())
-    server = HiddenComponentServer(
-        deployed.registry(),
-        hidden_globals=deployed.hidden_global_inits,
-        hidden_field_classes=deployed.hidden_field_classes,
-        host=args.host,
-        port=args.port,
-    )
-    print("hidden component serving on %s:%d" % server.address, file=out)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.shutdown()
+    with _metrics_sink(args.metrics):
+        with open(args.manifest) as f:
+            deployed = import_split(f.read())
+        server = HiddenComponentServer(
+            deployed.registry(),
+            hidden_globals=deployed.hidden_global_inits,
+            hidden_field_classes=deployed.hidden_field_classes,
+            host=args.host,
+            port=args.port,
+        )
+        print("hidden component serving on %s:%d" % server.address, file=out)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+    return 0
+
+
+def cmd_stats(args, out):
+    """Split + run under telemetry, then print the metrics snapshot."""
+    from repro import obs
+    from repro.obs import export
+
+    program, checker = _load(args.file)
+    run_args = _parse_args_list(args.args)
+    with obs.telemetry() as (registry, tracer):
+        sp = _split_for(program, checker, args)
+        if sp.splits:
+            latency = _LATENCIES[args.latency]()
+            run_split(sp, entry=args.entry, args=run_args, latency=latency)
+        else:
+            run_original(program, entry=args.entry, args=run_args)
+    if args.format == "prometheus":
+        print(export.to_prometheus(registry), file=out, end="")
+    else:
+        print(export.to_json(registry, tracer), file=out)
     return 0
 
 
@@ -310,9 +360,16 @@ def build_parser():
             p.add_argument("--function", help="function to split (with --var)")
             p.add_argument("--var", help="hidden variable (with --function)")
 
+    def metrics_flag(p):
+        p.add_argument(
+            "--metrics", metavar="PATH",
+            help="enable telemetry and dump the metrics registry (JSON) here at exit",
+        )
+
     p = sub.add_parser("run", help="run a program unmodified")
     common(p, with_selection=False)
     p.add_argument("--args", nargs="*", default=[], help="entry arguments")
+    metrics_flag(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("split", help="split and show both components")
@@ -325,6 +382,7 @@ def build_parser():
     p.add_argument("--args", nargs="*", default=[])
     p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
     p.add_argument("--remote", help="host:port of a served hidden component")
+    metrics_flag(p)
     p.set_defaults(fn=cmd_run_split)
 
     p = sub.add_parser("analyze", help="Section 3 security characterisation")
@@ -341,7 +399,20 @@ def build_parser():
     p.add_argument("manifest", help="manifest JSON from 'export'")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0)
+    metrics_flag(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "stats", help="run under telemetry and print the metrics snapshot"
+    )
+    common(p)
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
+    p.add_argument(
+        "--format", choices=["json", "prometheus"], default="json",
+        help="exposition format (default: json)",
+    )
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("graph", help="emit DOT graphs (cfg/ddg/callgraph/split)")
     common(p)

@@ -10,6 +10,7 @@ This is the API a tool user starts from::
     result = auto_split(program, checker)          # a SplitProgram
 """
 
+from repro import obs
 from repro.analysis.function import analyze_function
 from repro.core.program import split_program
 from repro.core.selection import select_functions, select_variable
@@ -25,14 +26,27 @@ def auto_split(program, checker, entry="main", max_functions=None, options=None,
 
     Returns a :class:`~repro.core.program.SplitProgram` (with zero splits if
     nothing qualifies).
+
+    With telemetry enabled the phases are profiled as tracer spans —
+    ``select`` (function cut + variable choice), ``slice`` (per-function
+    dependence analysis), ``classify`` (security estimation of trial
+    splits) and ``rewrite`` (component construction) — exported as the
+    ``repro_phase_seconds`` histogram, so ``repro stats`` reports where
+    splitting time is spent.
     """
+    tracer = obs.get_tracer()
     options = options or SplitOptions()
-    names = select_functions(program, checker, entry=entry, max_functions=max_functions)
+    with tracer.span("select"):
+        names = select_functions(program, checker, entry=entry,
+                                 max_functions=max_functions)
     choices = []
     for name in names:
         fn = program.function(name)
-        analysis = analyze_function(fn, checker)
-        var, _trial = select_variable(fn, analysis, options=options, scorer=scorer)
+        with tracer.span("slice", fn=name):
+            analysis = analyze_function(fn, checker)
+        with tracer.span("select", fn=name):
+            var, _trial = select_variable(fn, analysis, options=options,
+                                          scorer=scorer)
         if var is not None:
             choices.append((name, var))
     return split_program(program, checker, choices, options=options)

@@ -75,7 +75,10 @@ def _default_scorer(split, analysis):
     from repro.security.estimator import estimate_split_complexities
     from repro.security.lattice import TYPE_ORDER
 
-    complexities = estimate_split_complexities(split, analysis)
+    from repro import obs
+
+    with obs.get_tracer().span("classify", fn=split.name):
+        complexities = estimate_split_complexities(split, analysis)
     if not complexities:
         return (0, 0, 0, split.slice.size())
     ranks = [TYPE_ORDER.index(c.ac.type) for c in complexities]

@@ -98,7 +98,20 @@ def split_function(fn, var, analysis, fn_id=0, options=None,
     ``analysis`` is the function's
     :class:`~repro.analysis.function.FunctionAnalysis`.  Returns a
     :class:`~repro.core.hidden.SplitFunction`.
+
+    With telemetry enabled, each invocation (including trial splits during
+    variable selection) is profiled as a ``rewrite`` tracer span.
     """
+    from repro import obs
+
+    with obs.get_tracer().span("rewrite", fn=fn.name):
+        return _split_function(fn, var, analysis, fn_id=fn_id, options=options,
+                               hidden_storage=hidden_storage,
+                               storage_class=storage_class)
+
+
+def _split_function(fn, var, analysis, fn_id=0, options=None,
+                    hidden_storage=None, storage_class=None):
     options = options or SplitOptions()
     hidden_storage = frozenset(hidden_storage or ())
     local_types = analysis.local_types

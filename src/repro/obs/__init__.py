@@ -1,0 +1,85 @@
+"""Observability: runtime metrics, phase tracing, and exposition.
+
+One process-wide *active* telemetry pair — a metrics
+:class:`~repro.obs.metrics.Registry` and a
+:class:`~repro.obs.tracing.Tracer` — is consulted by the instrumented
+layers (channel, hidden server, interpreter, splitter pipeline) at
+construction time.  It defaults to the null implementations, which keep
+every instrumented hot path allocation-free; callers that want telemetry
+wrap the work in :func:`telemetry`::
+
+    from repro import obs
+    from repro.obs import export
+
+    with obs.telemetry() as (registry, tracer):
+        result = run_split(sp, args=(2, 3))
+    print(export.to_prometheus(registry))
+
+Exported metric names are documented in ``docs/OBSERVABILITY.md``; treat
+them as a stable interface (the CLI test suite asserts on them).
+"""
+
+import contextlib
+
+from repro.obs.metrics import (  # noqa: F401 (re-exported)
+    BYTE_BUCKETS,
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    SIM_MS_BUCKETS,
+    STEP_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer  # noqa: F401
+
+_registry = NULL_REGISTRY
+_tracer = NULL_TRACER
+
+
+def get_registry():
+    """The active metrics registry (the null registry when disabled)."""
+    return _registry
+
+
+def get_tracer():
+    """The active tracer (the null tracer when disabled)."""
+    return _tracer
+
+
+def enabled():
+    return _registry.enabled
+
+
+def install(registry=None, tracer=None):
+    """Make telemetry active process-wide; returns ``(registry, tracer)``.
+
+    Prefer the :func:`telemetry` context manager, which restores the
+    previous state.
+    """
+    global _registry, _tracer
+    _registry = registry if registry is not None else Registry()
+    _tracer = tracer if tracer is not None else Tracer(registry=_registry)
+    return _registry, _tracer
+
+
+def uninstall():
+    """Disable telemetry (back to the null implementations)."""
+    global _registry, _tracer
+    _registry = NULL_REGISTRY
+    _tracer = NULL_TRACER
+
+
+@contextlib.contextmanager
+def telemetry(registry=None, tracer=None):
+    """Scoped telemetry: installs a (fresh by default) registry/tracer pair
+    and restores whatever was active before, even on error."""
+    global _registry, _tracer
+    previous = (_registry, _tracer)
+    pair = install(registry, tracer)
+    try:
+        yield pair
+    finally:
+        _registry, _tracer = previous

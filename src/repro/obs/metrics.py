@@ -1,0 +1,232 @@
+"""Zero-dependency metrics primitives: Counter, Gauge, Histogram, Registry.
+
+The registry is the single collection point for everything the runtime
+measures — channel round trips, open/hidden statement counts, splitter
+phase durations.  Metrics are identified by ``(name, labels)``; asking the
+registry for the same identity twice returns the same object, so hot paths
+can either cache the metric or look it up per event.
+
+Telemetry is *opt-in*.  The module-level default is :data:`NULL_REGISTRY`,
+whose factory methods hand back shared no-op metric singletons: an
+instrumented code path costs one attribute call and no allocation when
+telemetry is disabled (the Table 5 overhead numbers are simulated-time and
+therefore bit-identical either way, but the wall-clock cost matters for
+``python -m repro.bench``).
+"""
+
+import bisect
+
+#: default histogram buckets for durations in seconds
+DEFAULT_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+#: buckets for payload sizes in bytes
+BYTE_BUCKETS = (16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+#: buckets for statement/step counts
+STEP_BUCKETS = (1, 5, 10, 50, 100, 500, 1000, 10000, 100000)
+
+#: buckets for simulated per-round-trip latency in milliseconds
+SIM_MS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 50.0)
+
+
+class Counter:
+    """Monotonically increasing value (float increments allowed)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (e.g. live activations)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest.  ``count`` and ``sum`` track totals for mean computation.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(self, name, labels, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value):
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative(self):
+        """``[(upper_bound, cumulative_count), ...]`` ending with +Inf."""
+        out = []
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in for every metric kind."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0
+
+    def inc(self, amount=1):
+        pass
+
+    def dec(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+class Registry:
+    """Collection point for metric instances, keyed by ``(name, labels)``."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics = {}
+        self._help = {}
+
+    # -- factories ---------------------------------------------------------
+
+    def counter(self, name, help=None, **labels):
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name, help=None, **labels):
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name, help=None, buckets=DEFAULT_BUCKETS, **labels):
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def _get(self, cls, name, help, labels, **extra):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, dict(labels), **extra)
+            self._metrics[key] = metric
+            if help:
+                self._help.setdefault(name, help)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                "metric %r already registered as %s" % (name, metric.kind)
+            )
+        return metric
+
+    # -- reading -----------------------------------------------------------
+
+    def collect(self):
+        """All metrics, sorted by name then label key (stable exposition)."""
+        return [m for _, m in sorted(self._metrics.items())]
+
+    def help_text(self, name):
+        return self._help.get(name, "")
+
+    def value(self, name, **labels):
+        """The value of one counter/gauge sample, 0 when absent."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        return metric.value if metric is not None else 0
+
+    def total(self, name):
+        """Sum of a counter/gauge family across all label sets."""
+        return sum(
+            m.value for (n, _), m in self._metrics.items()
+            if n == name and not isinstance(m, Histogram)
+        )
+
+    def names(self):
+        return sorted({name for name, _ in self._metrics})
+
+    def __len__(self):
+        return len(self._metrics)
+
+
+class NullRegistry:
+    """Disabled-telemetry registry: every factory returns the shared no-op
+    metric, so instrumented paths never allocate."""
+
+    enabled = False
+
+    def counter(self, name, help=None, **labels):
+        return NULL_METRIC
+
+    def gauge(self, name, help=None, **labels):
+        return NULL_METRIC
+
+    def histogram(self, name, help=None, buckets=DEFAULT_BUCKETS, **labels):
+        return NULL_METRIC
+
+    def collect(self):
+        return []
+
+    def help_text(self, name):
+        return ""
+
+    def value(self, name, **labels):
+        return 0
+
+    def total(self, name):
+        return 0
+
+    def names(self):
+        return []
+
+    def __len__(self):
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()

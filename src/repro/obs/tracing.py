@@ -1,0 +1,158 @@
+"""Nested span tracer with dual wall-clock / simulated-time accounting.
+
+The runtime measures two kinds of time that must not be conflated:
+
+* **wall seconds** — how long the tooling itself took (slicing, trial
+  splits, interpretation), measured with ``time.perf_counter``;
+* **simulated milliseconds** — what the modelled deployment would have
+  spent, charged by the channel's
+  :class:`~repro.runtime.channel.LatencyModel` (the paper's LAN / smart
+  card round-trip costs).
+
+A :class:`Span` carries both.  Open spans form a stack, so channel round
+trips recorded mid-run attach their simulated cost to whatever phase is
+currently open.  Finished spans are aggregated by name into a summary
+(count / wall / simulated) and, when the tracer owns a registry, phase
+durations are also exported as the ``repro_phase_seconds`` histogram.
+Detail spans are retained up to ``max_spans`` to bound memory on long runs.
+"""
+
+import time
+
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+#: registry histogram fed by every context-manager span
+PHASE_SECONDS = "repro_phase_seconds"
+
+
+class Span:
+    """One timed region (or instantaneous event) with attributes."""
+
+    __slots__ = ("name", "attrs", "wall_s", "sim_ms", "depth", "_t0", "_tracer")
+
+    def __init__(self, name, attrs, tracer=None, depth=0):
+        self.name = name
+        self.attrs = attrs
+        self.wall_s = 0.0
+        self.sim_ms = 0.0
+        self.depth = depth
+        self._t0 = None
+        self._tracer = tracer
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.wall_s = time.perf_counter() - self._t0
+        self._tracer._finish(self, record_phase=True)
+        return False
+
+    def __repr__(self):
+        return "<Span %s wall=%.6fs sim=%.3fms %r>" % (
+            self.name, self.wall_s, self.sim_ms, self.attrs,
+        )
+
+
+class Tracer:
+    """Records spans; aggregates by name; caps retained detail."""
+
+    enabled = True
+
+    def __init__(self, registry=None, max_spans=1000):
+        self.registry = registry
+        self.max_spans = max_spans
+        self.spans = []
+        self.dropped = 0
+        self._stack = []
+        self._summary = {}
+
+    def span(self, name, **attrs):
+        """Context manager for a timed region; nests via the open-span
+        stack.  Simulated time charged while it is open accrues to it."""
+        s = Span(name, attrs, tracer=self, depth=len(self._stack))
+        self._stack.append(s)
+        return s
+
+    def emit(self, name, sim_ms=0.0, **attrs):
+        """Record an instantaneous event span (e.g. one channel round
+        trip): no wall duration, optional simulated cost."""
+        s = Span(name, attrs, tracer=self, depth=len(self._stack))
+        s.sim_ms = sim_ms
+        self._finish(s, record_phase=False)
+        return s
+
+    def add_sim_ms(self, ms):
+        """Charge simulated time to the innermost open span, if any."""
+        if self._stack:
+            self._stack[-1].sim_ms += ms
+
+    def _finish(self, span, record_phase):
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+            # parent phases subsume their children's simulated time
+            if self._stack:
+                self._stack[-1].sim_ms += span.sim_ms
+        entry = self._summary.get(span.name)
+        if entry is None:
+            self._summary[span.name] = [1, span.wall_s, span.sim_ms]
+        else:
+            entry[0] += 1
+            entry[1] += span.wall_s
+            entry[2] += span.sim_ms
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        if record_phase and self.registry is not None:
+            self.registry.histogram(
+                PHASE_SECONDS,
+                help="wall-clock duration of profiled phases",
+                buckets=DEFAULT_BUCKETS,
+                phase=span.name,
+            ).observe(span.wall_s)
+
+    def summary(self):
+        """``{name: {"count", "wall_s", "sim_ms"}}``, sorted by name."""
+        return {
+            name: {"count": c, "wall_s": w, "sim_ms": s}
+            for name, (c, w, s) in sorted(self._summary.items())
+        }
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled-telemetry tracer: no allocation, no recording."""
+
+    enabled = False
+    spans = ()
+    dropped = 0
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def emit(self, name, sim_ms=0.0, **attrs):
+        return None
+
+    def add_sim_ms(self, ms):
+        pass
+
+    def summary(self):
+        return {}
+
+
+NULL_TRACER = NullTracer()

@@ -5,7 +5,26 @@ here, every request/response round trip is charged to a configurable
 :class:`LatencyModel` and appended to a :class:`Transcript`.  The transcript
 is exactly what a network adversary observes — the attack module consumes
 it to try to recover hidden fragments.
+
+When telemetry is enabled (:mod:`repro.obs`), every round trip is also
+recorded in the active registry — counters by event kind, per-ILP value
+counts, payload-size and simulated-latency histograms — and emitted as an
+instantaneous tracer span tagged with the fragment label.
 """
+
+from repro import obs
+from repro.obs.metrics import BYTE_BUCKETS, SIM_MS_BUCKETS
+
+#: exported metric names (documented in docs/OBSERVABILITY.md)
+M_ROUND_TRIPS = "repro_channel_round_trips_total"
+M_VALUES = "repro_channel_values_total"
+M_PAYLOAD_BYTES = "repro_channel_payload_bytes"
+M_RTT_SIM_MS = "repro_channel_rtt_simulated_ms"
+M_SIM_MS = "repro_channel_simulated_ms_total"
+
+#: modelled wire size: fixed header plus 8 bytes per scalar carried
+_HEADER_BYTES = 16
+_VALUE_BYTES = 8
 
 
 class LatencyModel:
@@ -46,9 +65,11 @@ class Event:
     callbacks into open memory).
     """
 
-    __slots__ = ("seq", "kind", "hid", "fn_name", "label", "sent", "result")
+    __slots__ = ("seq", "kind", "hid", "fn_name", "label", "sent", "result",
+                 "cost_ms")
 
-    def __init__(self, seq, kind, hid, fn_name, label, sent, result):
+    def __init__(self, seq, kind, hid, fn_name, label, sent, result,
+                 cost_ms=0.0):
         self.seq = seq
         self.kind = kind
         self.hid = hid
@@ -56,6 +77,7 @@ class Event:
         self.label = label
         self.sent = tuple(sent)
         self.result = result
+        self.cost_ms = cost_ms
 
     def __repr__(self):
         return "<Event %d %s %s#%s sent=%r -> %r>" % (
@@ -89,6 +111,26 @@ class Transcript:
             out.append(e)
         return out
 
+    def summary(self):
+        """Round trips, values carried, and simulated channel time.
+
+        The totals the CLI and benchmarks report; derived purely from the
+        recorded events so it also works on transcripts that were captured
+        remotely or deserialised.
+        """
+        total_values = 0
+        total_ms = 0.0
+        for e in self.events:
+            total_values += len(e.sent)
+            if e.result is not None:
+                total_values += 1
+            total_ms += e.cost_ms
+        return {
+            "round_trips": len(self.events),
+            "total_values": total_values,
+            "simulated_ms": total_ms,
+        }
+
     def __len__(self):
         return len(self.events)
 
@@ -104,15 +146,62 @@ class Channel:
         self.values_sent = 0
         self.values_received = 0
         self.simulated_ms = 0.0
+        registry = obs.get_registry()
+        self._registry = registry if registry.enabled else None
+        self._tracer = obs.get_tracer() if registry.enabled else None
 
     def round_trip(self, kind, hid, fn_name, label, sent, result):
         self.interactions += 1
         self.values_sent += len(sent)
         if result is not None:
             self.values_received += 1
-        self.simulated_ms += self.latency.cost_ms(len(sent) + 1)
+        cost_ms = self.latency.cost_ms(len(sent) + 1)
+        self.simulated_ms += cost_ms
+        if self._registry is not None:
+            self._record_metrics(kind, fn_name, label, sent, result, cost_ms)
         if self.record:
             self.transcript.append(
-                Event(self.interactions, kind, hid, fn_name, label, sent, result)
+                Event(self.interactions, kind, hid, fn_name, label, sent,
+                      result, cost_ms)
             )
         return result
+
+    def _record_metrics(self, kind, fn_name, label, sent, result, cost_ms):
+        registry = self._registry
+        carried = len(sent) + (0 if result is None else 1)
+        payload = _HEADER_BYTES + _VALUE_BYTES * carried
+        label_str = "-" if label is None else str(label)
+        registry.counter(
+            M_ROUND_TRIPS, help="channel round trips by event kind", kind=kind
+        ).inc()
+        registry.counter(
+            M_VALUES,
+            help="scalar values carried per fragment (ILP)",
+            fn=fn_name or "-",
+            label=label_str,
+        ).inc(carried)
+        registry.histogram(
+            M_PAYLOAD_BYTES,
+            help="modelled payload size per round trip",
+            buckets=BYTE_BUCKETS,
+            kind=kind,
+        ).observe(payload)
+        registry.histogram(
+            M_RTT_SIM_MS,
+            help="simulated latency per round trip",
+            buckets=SIM_MS_BUCKETS,
+        ).observe(cost_ms)
+        registry.counter(
+            M_SIM_MS, help="total simulated channel time"
+        ).inc(cost_ms)
+        tracer = self._tracer
+        tracer.emit(
+            "channel.round_trip",
+            sim_ms=cost_ms,
+            kind=kind,
+            fn=fn_name or "-",
+            label=label_str,
+            values=carried,
+            bytes=payload,
+        )
+        tracer.add_sim_ms(cost_ms)

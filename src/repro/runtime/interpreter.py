@@ -12,6 +12,7 @@ The interpreter counts executed statements (``steps``), the basis of the
 simulated runtime-overhead measurements in the Table 5 benchmark.
 """
 
+from repro import obs
 from repro.lang import ast
 from repro.lang.typecheck import BUILTIN_SIGNATURES
 from repro.runtime.values import (
@@ -26,6 +27,10 @@ from repro.runtime.values import (
 )
 
 HIDDEN_BUILTINS = ("hopen", "hcall", "hclose")
+
+#: exported metric names (documented in docs/OBSERVABILITY.md)
+M_STEPS = "repro_steps_total"
+M_STMTS = "repro_stmt_executions_total"
 
 
 class StepLimitExceeded(RuntimeErr):
@@ -105,6 +110,10 @@ class Interpreter:
         self.call_depth = 0
         self.steps = 0
         self.output = []
+        registry = obs.get_registry()
+        self._registry = registry if registry.enabled else None
+        self._stmt_counts = {} if registry.enabled else None
+        self._steps_flushed = 0
         self.globals = {}
         for g in program.globals:
             if g.init is not None:
@@ -145,6 +154,28 @@ class Interpreter:
         finally:
             if old_limit < needed:
                 sys.setrecursionlimit(old_limit)
+            if self._registry is not None:
+                self.flush_metrics()
+
+    def flush_metrics(self):
+        """Publish accumulated step/statement counts to the registry.
+
+        Called automatically at the end of :meth:`run`; flushes deltas, so
+        repeated runs on one interpreter never double-count.
+        """
+        registry = self._registry
+        if registry is None:
+            return
+        for kind, count in self._stmt_counts.items():
+            registry.counter(
+                M_STMTS, help="statement executions by AST kind",
+                side="open", kind=kind,
+            ).inc(count)
+        self._stmt_counts.clear()
+        registry.counter(
+            M_STEPS, help="statements executed by side", side="open"
+        ).inc(self.steps - self._steps_flushed)
+        self._steps_flushed = self.steps
 
     def call_function(self, fn, args, receiver=None):
         if len(args) != len(fn.params):
@@ -222,6 +253,10 @@ class Interpreter:
 
     def exec_stmt(self, stmt, env):
         self._tick()
+        counts = self._stmt_counts
+        if counts is not None:
+            kind = type(stmt).__name__
+            counts[kind] = counts.get(kind, 0) + 1
         if isinstance(stmt, ast.VarDecl):
             if stmt.init is not None:
                 value = self.eval_expr(stmt.init, env)

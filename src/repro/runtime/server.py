@@ -15,6 +15,8 @@ inputs "varying ... in each iteration a different array element was being
 sent to the hidden side".
 """
 
+from repro import obs
+from repro.obs.metrics import STEP_BUCKETS
 from repro.lang import ast
 from repro.core.hidden import FragmentKind
 from repro.runtime.values import (
@@ -25,6 +27,13 @@ from repro.runtime.values import (
     unary_op,
 )
 from repro.lang.typecheck import BUILTIN_SIGNATURES
+
+#: exported metric names (documented in docs/OBSERVABILITY.md)
+M_ACTIVATIONS = "repro_server_activations_total"
+M_CALLS = "repro_server_calls_total"
+M_FRAGMENT_STEPS = "repro_server_fragment_steps"
+M_STEPS = "repro_steps_total"
+M_STMTS = "repro_stmt_executions_total"
 
 
 class _Break(Exception):
@@ -70,6 +79,8 @@ class HiddenServer:
         self.hidden_globals = dict(hidden_globals or {})
         self.hidden_field_classes = dict(hidden_field_classes or {})
         self.instances = {}  # oid -> {hidden field: value}
+        registry = obs.get_registry()
+        self._registry = registry if registry.enabled else None
 
     # -- activation management -------------------------------------------------
 
@@ -81,12 +92,21 @@ class HiddenServer:
         fn_name, _fragments, _storage = self.registry[fn_id]
         receiver_oid = receiver.oid if receiver is not None else None
         self.activations[hid] = Activation(hid, fn_id, fn_name, receiver_oid)
+        if self._registry is not None:
+            self._registry.counter(
+                M_ACTIVATIONS, help="activation lifecycle events", event="open"
+            ).inc()
         self.channel.round_trip("open", hid, fn_name, None, (fn_id,), hid)
         return hid
 
     def close_activation(self, hid):
         activation = self.activations.pop(hid, None)
         if activation is not None:
+            if self._registry is not None:
+                self._registry.counter(
+                    M_ACTIVATIONS, help="activation lifecycle events",
+                    event="close",
+                ).inc()
             self.channel.round_trip("close", hid, activation.fn_name, None, (), None)
 
     def notify_new_instance(self, obj):
@@ -121,8 +141,12 @@ class HiddenServer:
         env = activation.env
         for name, value in zip(fragment.params, values):
             env[name] = value
+        registry = self._registry
+        stmt_counts = {} if registry is not None else None
+        steps_before = self.steps
         evaluator = _FragmentEvaluator(
-            self, env, access, hid, fn_name, storage_map, activation.receiver_oid
+            self, env, access, hid, fn_name, storage_map,
+            activation.receiver_oid, stmt_counts=stmt_counts,
         )
         for stmt in fragment.body:
             evaluator.exec_stmt(stmt)
@@ -132,8 +156,35 @@ class HiddenServer:
                 result = bool(result)
         else:
             result = 0  # the paper's "any" value
+        if registry is not None:
+            self._flush_call_metrics(
+                fn_name, label, stmt_counts, self.steps - steps_before
+            )
         self.channel.round_trip("call", hid, fn_name, label, values, result)
         return result
+
+    def _flush_call_metrics(self, fn_name, label, stmt_counts, steps):
+        registry = self._registry
+        label_str = str(label)
+        registry.counter(
+            M_CALLS, help="fragment executions per ILP",
+            fn=fn_name, label=label_str,
+        ).inc()
+        registry.histogram(
+            M_FRAGMENT_STEPS,
+            help="hidden statements executed per fragment call",
+            buckets=STEP_BUCKETS,
+            fn=fn_name,
+            label=label_str,
+        ).observe(steps)
+        registry.counter(
+            M_STEPS, help="statements executed by side", side="hidden"
+        ).inc(steps)
+        for kind, count in stmt_counts.items():
+            registry.counter(
+                M_STMTS, help="statement executions by AST kind",
+                side="hidden", kind=kind,
+            ).inc(count)
 
     def _tick(self):
         self.steps += 1
@@ -150,7 +201,7 @@ class _FragmentEvaluator:
     """
 
     def __init__(self, server, env, access, hid, fn_name, storage_map=None,
-                 receiver_oid=None):
+                 receiver_oid=None, stmt_counts=None):
         self.server = server
         self.env = env
         self.access = access
@@ -158,6 +209,7 @@ class _FragmentEvaluator:
         self.fn_name = fn_name
         self.storage_map = storage_map or {}
         self.receiver_oid = receiver_oid
+        self.stmt_counts = stmt_counts
 
     def _read_name(self, name):
         kind = self.storage_map.get(name)
@@ -204,6 +256,10 @@ class _FragmentEvaluator:
 
     def exec_stmt(self, stmt):
         self.server._tick()
+        counts = self.stmt_counts
+        if counts is not None:
+            kind = type(stmt).__name__
+            counts[kind] = counts.get(kind, 0) + 1
         if isinstance(stmt, ast.VarDecl):
             if stmt.init is not None:
                 value = self.eval_expr(stmt.init)

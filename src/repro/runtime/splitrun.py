@@ -13,10 +13,14 @@ Absolute numbers are arbitrary; the *ratio* after/before — the paper's
 "% Increase" column — is what the benchmark reproduces.
 """
 
+from repro import obs
 from repro.runtime.channel import Channel, LatencyModel
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.server import HiddenServer
 from repro.runtime.values import RuntimeErr
+
+#: exported metric name (documented in docs/OBSERVABILITY.md)
+M_RUNS = "repro_runs_total"
 
 #: Interpreted-statement cost on the open machine, in microseconds.
 DEFAULT_STMT_COST_US = 1.0
@@ -58,8 +62,12 @@ class RunResult:
 
 def run_original(program, entry="main", args=(), max_steps=20_000_000):
     """Execute the original (unsplit) program."""
-    interp = Interpreter(program, max_steps=max_steps)
-    value = interp.run(entry, args)
+    with obs.get_tracer().span("run.original", entry=entry):
+        interp = Interpreter(program, max_steps=max_steps)
+        value = interp.run(entry, args)
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.counter(M_RUNS, help="program executions", mode="original").inc()
     return RunResult(value, interp.output, interp.steps)
 
 
@@ -67,16 +75,21 @@ def run_split(split_program, entry="main", args=(), latency=None, record=True,
               max_steps=20_000_000):
     """Execute a split program: open components in the interpreter, hidden
     fragments on a :class:`HiddenServer`, through an accounting channel."""
-    channel = Channel(latency or LatencyModel.lan(), record=record)
-    server = HiddenServer(
-        split_program.registry(),
-        channel,
-        max_steps=max_steps,
-        hidden_globals=getattr(split_program, "hidden_global_inits", None),
-        hidden_field_classes=getattr(split_program, "hidden_field_classes", None),
-    )
-    interp = Interpreter(split_program.program, hidden_runtime=server, max_steps=max_steps)
-    value = interp.run(entry, args)
+    with obs.get_tracer().span("run.split", entry=entry):
+        channel = Channel(latency or LatencyModel.lan(), record=record)
+        server = HiddenServer(
+            split_program.registry(),
+            channel,
+            max_steps=max_steps,
+            hidden_globals=getattr(split_program, "hidden_global_inits", None),
+            hidden_field_classes=getattr(split_program, "hidden_field_classes", None),
+        )
+        interp = Interpreter(split_program.program, hidden_runtime=server,
+                             max_steps=max_steps)
+        value = interp.run(entry, args)
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.counter(M_RUNS, help="program executions", mode="split").inc()
     return RunResult(value, interp.output, interp.steps, server.steps, channel)
 
 

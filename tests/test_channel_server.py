@@ -115,8 +115,56 @@ def test_server_unknown_label():
     _, sp = split()
     server = HiddenServer(sp.registry(), Channel(LatencyModel.instant()))
     hid = server.open_activation(0)
-    with pytest.raises(RuntimeErr):
+    with pytest.raises(RuntimeErr, match="no fragment"):
         server.call(hid, 999, [], None)
+
+
+def test_server_call_after_close():
+    _, sp = split()
+    server = HiddenServer(sp.registry(), Channel(LatencyModel.instant()))
+    hid = server.open_activation(0)
+    label = next(iter(sp.splits["f"].fragments))
+    server.close_activation(hid)
+    with pytest.raises(RuntimeErr, match="no activation"):
+        server.call(hid, label, [0] * len(sp.splits["f"].fragments[label].params), None)
+
+
+def test_server_exceeds_max_steps():
+    # a hidden fragment containing a loop: the server's own step budget
+    # must fire, not the open interpreter's
+    source = """
+    func int f(int x, int[] B) {
+        int a = x;
+        int s = 0;
+        while (a > 0) {
+            s = s + a;
+            a = a - 1;
+        }
+        B[0] = s;
+        return s;
+    }
+    func void main(int x) {
+        int[] B = new int[2];
+        print(f(x, B));
+    }
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")])
+    server = HiddenServer(
+        sp.registry(), Channel(LatencyModel.instant()), max_steps=10
+    )
+    hid = server.open_activation(0)
+    fragments = sp.splits["f"].fragments
+    loop_label = next(
+        l for l, f in fragments.items()
+        if any("While" in type(s).__name__ for s in f.body)
+    )
+    # prime the hidden counter (fragment 0 executes `a = x`), then run the
+    # fully hidden loop: its per-iteration ticks must trip the budget
+    server.call(hid, 0, [1000] * len(fragments[0].params), None)
+    with pytest.raises(RuntimeErr, match="exceeded 10 steps"):
+        server.call(hid, loop_label, [], None)
 
 
 def test_server_wrong_value_count():
@@ -157,3 +205,13 @@ def test_values_flow_back_and_forth():
     assert result.output == ["11", "13", "11"]
     assert result.channel.values_sent > 0
     assert result.channel.values_received > 0
+
+
+def test_transcript_summary_matches_channel_accounting():
+    _, sp = split()
+    result = run_split(sp, args=(4,))
+    channel = result.channel
+    summary = channel.transcript.summary()
+    assert summary["round_trips"] == channel.interactions
+    assert summary["total_values"] == channel.values_sent + channel.values_received
+    assert summary["simulated_ms"] == pytest.approx(channel.simulated_ms)

@@ -163,6 +163,92 @@ def test_lint_findings(tmp_path):
     assert "dead-store" in out
 
 
+#: the telemetry interface the CLI exposes; renaming any of these is a
+#: breaking change (see docs/OBSERVABILITY.md)
+STABLE_METRIC_NAMES = {
+    "repro_channel_round_trips_total",
+    "repro_channel_values_total",
+    "repro_channel_payload_bytes",
+    "repro_channel_rtt_simulated_ms",
+    "repro_channel_simulated_ms_total",
+    "repro_server_activations_total",
+    "repro_server_calls_total",
+    "repro_server_fragment_steps",
+    "repro_steps_total",
+    "repro_stmt_executions_total",
+    "repro_phase_seconds",
+    "repro_runs_total",
+}
+
+
+def test_stats_json_round_trip(prog_file):
+    import json
+
+    code, out = run_cli(["stats", prog_file, "--args", "2", "3"])
+    assert code == 0
+    doc = json.loads(out)
+    names = {m["name"] for m in doc["metrics"]}
+    assert STABLE_METRIC_NAMES <= names
+    assert {"select", "slice", "classify", "rewrite"} <= set(doc["spans"])
+    round_trips = sum(
+        m["value"] for m in doc["metrics"]
+        if m["name"] == "repro_channel_round_trips_total"
+    )
+    assert round_trips > 0
+
+
+def test_stats_prometheus_round_trip(prog_file):
+    code, out = run_cli(
+        ["stats", prog_file, "--args", "2", "3", "--format", "prometheus"]
+    )
+    assert code == 0
+    assert "# TYPE repro_channel_round_trips_total counter" in out
+    assert "# TYPE repro_phase_seconds histogram" in out
+    for name in STABLE_METRIC_NAMES:
+        assert name in out
+    # no unscrapable lines: every non-comment line is "name{labels} value"
+    for line in out.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        metric, _, value = line.rpartition(" ")
+        assert metric
+        float(value)
+
+
+def test_run_split_metrics_flag(prog_file, tmp_path):
+    import json
+
+    path = str(tmp_path / "out.json")
+    code, out = run_cli(
+        ["run-split", prog_file, "--args", "2", "3", "--metrics", path]
+    )
+    assert code == 0
+    assert "split verified equivalent" in out
+    doc = json.loads(open(path).read())
+    names = {m["name"] for m in doc["metrics"]}
+    assert "repro_channel_round_trips_total" in names
+    assert "repro_steps_total" in names
+    phases = {
+        m["labels"]["phase"] for m in doc["metrics"]
+        if m["name"] == "repro_phase_seconds"
+    }
+    assert {"select", "slice", "classify", "rewrite"} <= phases
+
+
+def test_run_metrics_flag(prog_file, tmp_path):
+    import json
+
+    path = str(tmp_path / "run.json")
+    code, _ = run_cli(["run", prog_file, "--args", "2", "3", "--metrics", path])
+    assert code == 0
+    doc = json.loads(open(path).read())
+    steps = [
+        m for m in doc["metrics"]
+        if m["name"] == "repro_steps_total" and m["labels"]["side"] == "open"
+    ]
+    assert steps and steps[0]["value"] > 0
+
+
 def test_lint_split_quality(tmp_path):
     path = tmp_path / "weak.mj"
     path.write_text(
