@@ -34,6 +34,23 @@ def test_table5_runtime_overhead(once):
     assert pcts[-1] > pcts[0]
 
 
+def test_table5_batching_reduces_round_trips(once):
+    """Extension: the communication optimisation layer (docs/PROTOCOL.md).
+
+    With ``batching=True`` every workload must produce identical output in
+    fewer channel round trips, and therefore less simulated time — the
+    before/after table in docs/BENCHMARKS.md is regenerated from exactly
+    this comparison."""
+    base = run_table5(scale=1.0)
+    batched = once(run_table5, scale=1.0, batching=True)
+    print("\n" + batched.render())
+    for off, on in zip(base.data, batched.data):
+        label = "%s/%s" % (off["benchmark"], off["input"])
+        assert on["interactions"] < off["interactions"], label
+        assert on["after_ms"] < off["after_ms"], label
+        assert on["before_ms"] == off["before_ms"], label
+
+
 def test_table5_smart_card_latency_dominates(once):
     """Extension: the 'untrustworthy user' scenario — a smart-card-class
     device makes the same splits far more expensive than the LAN server."""

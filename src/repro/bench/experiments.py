@@ -226,7 +226,7 @@ def run_table4(scale=1.0):
 # -- Table 5 -----------------------------------------------------------------
 
 
-def run_table5(scale=1.0, latency=None, runs=None):
+def run_table5(scale=1.0, latency=None, runs=None, batching=False):
     """Runtime overhead caused by software splitting.
 
     Executes each paper row's driver invocation on both the original and
@@ -234,6 +234,11 @@ def run_table5(scale=1.0, latency=None, runs=None):
     Channel and step numbers come from the telemetry registry
     (:mod:`repro.obs`) — each run executes under a scoped registry whose
     counters replace the old hand-rolled accounting.
+
+    ``batching=True`` runs the split side with the communication
+    optimisation layer on (send coalescing + callback batching,
+    docs/PROTOCOL.md and docs/BENCHMARKS.md); the default reproduces the
+    paper's one-message-per-interaction channel exactly.
     """
     latency = latency or TABLE5_LATENCY
     runs = runs if runs is not None else TABLE5_RUNS
@@ -257,7 +262,8 @@ def run_table5(scale=1.0, latency=None, runs=None):
         with obs.telemetry() as (reg_before, _tracer):
             before = run_original(corpus.program, args=args)
         with obs.telemetry() as (reg_after, _tracer):
-            after = run_split(sp, args=args, latency=latency, record=False)
+            after = run_split(sp, args=args, latency=latency, record=False,
+                              batching=batching)
         if before.output != after.output:
             raise AssertionError(
                 "split %s diverged on %s" % (run.benchmark, run.input_name)

@@ -132,12 +132,14 @@ def cmd_run_split(args, out):
         program, checker = _load(args.file)
         sp = _split_for(program, checker, args)
         run_args = _parse_args_list(args.args)
+        batching = getattr(args, "batching", "off") == "on"
         if args.remote:
             from repro.runtime.remote import run_split_remote
 
             host, _, port = args.remote.rpartition(":")
             result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
-                                      entry=args.entry, args=run_args)
+                                      entry=args.entry, args=run_args,
+                                      batching=batching)
             for line in result.output:
                 print(line, file=out)
             print(
@@ -148,7 +150,8 @@ def cmd_run_split(args, out):
             return 0
         check_equivalence(program, sp, entry=args.entry, args=run_args)
         latency = _LATENCIES[args.latency]()
-        result = run_split(sp, entry=args.entry, args=run_args, latency=latency)
+        result = run_split(sp, entry=args.entry, args=run_args, latency=latency,
+                           batching=batching)
     for line in result.output:
         print(line, file=out)
     summary = result.channel.transcript.summary()
@@ -248,7 +251,8 @@ def cmd_stats(args, out):
         sp = _split_for(program, checker, args)
         if sp.splits:
             latency = _LATENCIES[args.latency]()
-            run_split(sp, entry=args.entry, args=run_args, latency=latency)
+            run_split(sp, entry=args.entry, args=run_args, latency=latency,
+                      batching=getattr(args, "batching", "off") == "on")
         else:
             run_original(program, entry=args.entry, args=run_args)
     if args.format == "prometheus":
@@ -366,6 +370,14 @@ def build_parser():
             help="enable telemetry and dump the metrics registry (JSON) here at exit",
         )
 
+    def batching_flag(p):
+        p.add_argument(
+            "--batching", choices=["on", "off"], default="off",
+            help="communication optimisation layer: coalesce one-way "
+            "messages and batch open-memory callbacks (docs/PROTOCOL.md); "
+            "off reproduces the paper's one-message-per-interaction model",
+        )
+
     p = sub.add_parser("run", help="run a program unmodified")
     common(p, with_selection=False)
     p.add_argument("--args", nargs="*", default=[], help="entry arguments")
@@ -382,6 +394,7 @@ def build_parser():
     p.add_argument("--args", nargs="*", default=[])
     p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
     p.add_argument("--remote", help="host:port of a served hidden component")
+    batching_flag(p)
     metrics_flag(p)
     p.set_defaults(fn=cmd_run_split)
 
@@ -408,6 +421,7 @@ def build_parser():
     common(p)
     p.add_argument("--args", nargs="*", default=[])
     p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
+    batching_flag(p)
     p.add_argument(
         "--format", choices=["json", "prometheus"], default="json",
         help="exposition format (default: json)",

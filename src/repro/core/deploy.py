@@ -45,6 +45,9 @@ def export_split(split_program):
                         else None
                     ),
                     "set_var": frag.set_var,
+                    # path-based prefetch manifest (repro.core.prefetch) so
+                    # a served component batches without re-analysis
+                    "prefetch": frag.prefetch,
                 }
             )
         functions[name] = {
@@ -113,6 +116,9 @@ def import_split(manifest):
                     else None
                 ),
                 set_var=spec.get("set_var"),
+                # absent in manifests written before the batching layer:
+                # None makes the hidden server recompute on demand
+                prefetch=spec.get("prefetch"),
             )
         registry[entry["fn_id"]] = (name, fragments, dict(entry["storage_map"]))
     return DeployedSplitProgram(

@@ -29,10 +29,17 @@ class HiddenFragment:
     to produce those values (usually plain variable reads).  ``body`` is a
     list of statements executed on the hidden side, after which
     ``result_expr`` (if any) is evaluated and returned.
+
+    ``prefetch`` is the fragment's prefetch manifest — the splitter's
+    static plan for batching open-memory reads into single ``fetch_batch``
+    callbacks (see :mod:`repro.core.prefetch`).  ``None`` means "not yet
+    computed"; the hidden server derives one on demand so hand-built
+    fragments batch too.
     """
 
     def __init__(self, label, kind, params=None, param_exprs=None, body=None,
-                 result_expr=None, set_var=None, source_stmts=None):
+                 result_expr=None, set_var=None, source_stmts=None,
+                 prefetch=None):
         self.label = label
         self.kind = kind
         self.params = list(params or [])
@@ -42,6 +49,8 @@ class HiddenFragment:
         self.set_var = set_var
         #: original AST statements this fragment was carved from
         self.source_stmts = list(source_stmts or [])
+        #: prefetch manifest (repro.core.prefetch), or None if uncomputed
+        self.prefetch = prefetch
 
     def describe(self):
         """Human-readable rendering (used by examples and reports)."""

@@ -49,6 +49,7 @@ from repro.analysis.slicing import (
     union_slices,
 )
 from repro.core.hidden import FragmentKind, HiddenFragment, ILPSite, SplitFunction
+from repro.core.prefetch import collect_prefetch
 
 RESERVED_NAMES = ("hopen", "hclose", "hcall")
 
@@ -280,6 +281,7 @@ class _Splitter:
             body=body,
             source_stmts=list(source_stmts),
         )
+        frag.prefetch = collect_prefetch(frag)
         self.fragments[label] = frag
         return frag
 
@@ -295,6 +297,7 @@ class _Splitter:
             result_expr=result,
             source_stmts=[source_stmt] if source_stmt is not None else [],
         )
+        frag.prefetch = collect_prefetch(frag)
         self.fragments[label] = frag
         return frag
 
@@ -310,6 +313,7 @@ class _Splitter:
             result_expr=result,
             source_stmts=[construct],
         )
+        frag.prefetch = collect_prefetch(frag)
         self.fragments[label] = frag
         return frag
 
@@ -317,7 +321,7 @@ class _Splitter:
         if name not in self._get_labels:
             label = self._new_label()
             frag = HiddenFragment(
-                label, FragmentKind.GET, result_expr=ast.VarRef(name)
+                label, FragmentKind.GET, result_expr=ast.VarRef(name), prefetch=[]
             )
             self.fragments[label] = frag
             self._get_labels[name] = label
@@ -332,6 +336,7 @@ class _Splitter:
                 params=["__value"],
                 body=[ast.Assign(ast.VarRef(name), ast.VarRef("__value"))],
                 set_var=name,
+                prefetch=[],
             )
             self.fragments[label] = frag
             self._set_labels[name] = label

@@ -22,6 +22,7 @@ them as a stable interface (the CLI test suite asserts on them).
 import contextlib
 
 from repro.obs.metrics import (  # noqa: F401 (re-exported)
+    BATCH_BUCKETS,
     BYTE_BUCKETS,
     DEFAULT_BUCKETS,
     NULL_REGISTRY,

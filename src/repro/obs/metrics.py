@@ -28,6 +28,9 @@ STEP_BUCKETS = (1, 5, 10, 50, 100, 500, 1000, 10000, 100000)
 #: buckets for simulated per-round-trip latency in milliseconds
 SIM_MS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 50.0)
 
+#: buckets for messages coalesced per batch flush
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
 
 class Counter:
     """Monotonically increasing value (float increments allowed)."""

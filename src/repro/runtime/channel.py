@@ -6,6 +6,13 @@ here, every request/response round trip is charged to a configurable
 is exactly what a network adversary observes — the attack module consumes
 it to try to recover hidden fragments.
 
+The channel also implements *send coalescing* (docs/PROTOCOL.md, "Batching
+and coalescing"): one-way messages whose result the sender does not need
+can be deferred with :meth:`Channel.defer` and are flushed as a single
+``batch`` round trip at the next synchronisation point — automatically
+before any ordinary :meth:`Channel.round_trip`, or explicitly via
+:meth:`Channel.flush_deferred` at end of run.
+
 When telemetry is enabled (:mod:`repro.obs`), every round trip is also
 recorded in the active registry — counters by event kind, per-ILP value
 counts, payload-size and simulated-latency histograms — and emitted as an
@@ -13,7 +20,7 @@ instantaneous tracer span tagged with the fragment label.
 """
 
 from repro import obs
-from repro.obs.metrics import BYTE_BUCKETS, SIM_MS_BUCKETS
+from repro.obs.metrics import BATCH_BUCKETS, BYTE_BUCKETS, SIM_MS_BUCKETS
 
 #: exported metric names (documented in docs/OBSERVABILITY.md)
 M_ROUND_TRIPS = "repro_channel_round_trips_total"
@@ -21,6 +28,8 @@ M_VALUES = "repro_channel_values_total"
 M_PAYLOAD_BYTES = "repro_channel_payload_bytes"
 M_RTT_SIM_MS = "repro_channel_rtt_simulated_ms"
 M_SIM_MS = "repro_channel_simulated_ms_total"
+M_BATCH_SIZE = "repro_channel_batch_size"
+M_COALESCED = "repro_channel_coalesced_total"
 
 #: modelled wire size: fixed header plus 8 bytes per scalar carried
 _HEADER_BYTES = 16
@@ -30,12 +39,29 @@ _VALUE_BYTES = 8
 class LatencyModel:
     """Per-round-trip cost model.
 
-    ``per_message_ms`` charges each round trip; ``per_value_us`` charges
-    each scalar value carried.  Defaults approximate a 2003-era LAN RPC
-    (a few hundred microseconds per round trip).
+    This class is the single source of truth for the cost-model units:
+
+    * ``per_message_ms`` — **milliseconds** charged once per round trip
+      (the fixed RPC cost: syscalls, wire latency, scheduling);
+    * ``per_value_us`` — **microseconds** charged per scalar value
+      carried in either direction (the marginal serialisation cost).
+
+    ``cost_ms(value_count)`` returns milliseconds.  Defaults approximate a
+    2003-era LAN RPC (a few hundred microseconds per round trip); the
+    Table 5 calibration against the paper's wall-clock baselines lives in
+    :data:`repro.bench.experiments.TABLE5_LATENCY` and is documented in
+    docs/BENCHMARKS.md.  Both parameters must be non-negative.
     """
 
     def __init__(self, per_message_ms=0.35, per_value_us=2.0):
+        if per_message_ms < 0:
+            raise ValueError(
+                "per_message_ms must be non-negative, got %r" % (per_message_ms,)
+            )
+        if per_value_us < 0:
+            raise ValueError(
+                "per_value_us must be non-negative, got %r" % (per_value_us,)
+            )
         self.per_message_ms = per_message_ms
         self.per_value_us = per_value_us
 
@@ -61,8 +87,10 @@ class Event:
     """One observable round trip.
 
     ``kind`` is ``"call"`` (an ``hcall``), ``"open"``/``"close"``
-    (activation management) or ``"cb_fetch"``/``"cb_store"`` (hidden-side
-    callbacks into open memory).
+    (activation management), ``"cb_fetch"``/``"cb_store"`` (hidden-side
+    callbacks into open memory), ``"cb_batch"`` (a batched ``fetch_batch``
+    callback) or ``"batch"`` (a coalesced flush of deferred one-way
+    messages; only with batching enabled — see docs/PROTOCOL.md).
     """
 
     __slots__ = ("seq", "kind", "hid", "fn_name", "label", "sent", "result",
@@ -146,11 +174,53 @@ class Channel:
         self.values_sent = 0
         self.values_received = 0
         self.simulated_ms = 0.0
+        self.coalesced_messages = 0
+        self._pending = []
         registry = obs.get_registry()
         self._registry = registry if registry.enabled else None
         self._tracer = obs.get_tracer() if registry.enabled else None
 
+    def defer(self, kind, hid, fn_name, label, sent):
+        """Buffer a one-way message instead of charging a round trip.
+
+        Deferred messages are folded into a single ``batch`` round trip by
+        :meth:`flush_deferred`, which runs automatically before the next
+        ordinary :meth:`round_trip` (the first intervening receive).  Only
+        messages whose result the open side does not need may be deferred
+        (see docs/PROTOCOL.md for the deferability rule).
+        """
+        self._pending.append((kind, hid, fn_name, label, tuple(sent)))
+
+    def flush_deferred(self):
+        """Flush buffered one-way messages as one ``batch`` round trip.
+
+        No-op when nothing is pending.  Returns the number of messages
+        coalesced into the flush.
+        """
+        pending = self._pending
+        if not pending:
+            return 0
+        self._pending = []
+        merged = []
+        for _kind, _hid, _fn_name, _label, sent in pending:
+            merged.extend(sent)
+        self.interactions += 1
+        self.values_sent += len(merged)
+        self.coalesced_messages += len(pending)
+        cost_ms = self.latency.cost_ms(len(merged) + 1)
+        self.simulated_ms += cost_ms
+        if self._registry is not None:
+            self._record_batch_metrics(pending, merged, cost_ms)
+        if self.record:
+            self.transcript.append(
+                Event(self.interactions, "batch", None, "-", None, merged,
+                      None, cost_ms)
+            )
+        return len(pending)
+
     def round_trip(self, kind, hid, fn_name, label, sent, result):
+        if self._pending:
+            self.flush_deferred()
         self.interactions += 1
         self.values_sent += len(sent)
         if result is not None:
@@ -202,6 +272,54 @@ class Channel:
             fn=fn_name or "-",
             label=label_str,
             values=carried,
+            bytes=payload,
+        )
+        tracer.add_sim_ms(cost_ms)
+
+    def _record_batch_metrics(self, pending, merged, cost_ms):
+        registry = self._registry
+        payload = _HEADER_BYTES + _VALUE_BYTES * len(merged)
+        registry.counter(
+            M_ROUND_TRIPS, help="channel round trips by event kind", kind="batch"
+        ).inc()
+        for kind, _hid, fn_name, label, sent in pending:
+            registry.counter(
+                M_COALESCED,
+                help="one-way messages coalesced into batch round trips",
+                kind=kind,
+            ).inc()
+            if sent:
+                registry.counter(
+                    M_VALUES,
+                    help="scalar values carried per fragment (ILP)",
+                    fn=fn_name or "-",
+                    label="-" if label is None else str(label),
+                ).inc(len(sent))
+        registry.histogram(
+            M_BATCH_SIZE,
+            help="messages coalesced per batch flush",
+            buckets=BATCH_BUCKETS,
+        ).observe(len(pending))
+        registry.histogram(
+            M_PAYLOAD_BYTES,
+            help="modelled payload size per round trip",
+            buckets=BYTE_BUCKETS,
+            kind="batch",
+        ).observe(payload)
+        registry.histogram(
+            M_RTT_SIM_MS,
+            help="simulated latency per round trip",
+            buckets=SIM_MS_BUCKETS,
+        ).observe(cost_ms)
+        registry.counter(
+            M_SIM_MS, help="total simulated channel time"
+        ).inc(cost_ms)
+        tracer = self._tracer
+        tracer.emit(
+            "channel.batch",
+            sim_ms=cost_ms,
+            messages=len(pending),
+            values=len(merged),
             bytes=payload,
         )
         tracer.add_sim_ms(cost_ms)

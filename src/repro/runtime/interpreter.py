@@ -97,6 +97,21 @@ class OpenAccess:
             raise RuntimeErr("hidden access: %r is not an object" % name)
         obj.fields[field] = value
 
+    def fetch_batch(self, items):
+        """Serve a batched prefetch callback: ``items`` is a sequence of
+        ``("index", name, index)`` / ``("field", name, field)`` descriptors;
+        returns the values in order.  One round trip regardless of length —
+        the server charges it as a single ``cb_batch`` interaction."""
+        values = []
+        for kind, name, key in items:
+            if kind == "index":
+                values.append(self.fetch_index(name, key))
+            elif kind == "field":
+                values.append(self.fetch_field(name, key))
+            else:
+                raise RuntimeErr("hidden access: bad batch item kind %r" % kind)
+        return values
+
 
 class Interpreter:
     """Executes a program AST."""

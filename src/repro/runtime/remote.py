@@ -8,15 +8,11 @@ TCP server hosting the hidden component, and a client-side hidden runtime
 the interpreter talks to, with genuine request/response round trips —
 including server-to-client callbacks for array/field access mid-fragment.
 
-Protocol: JSON lines over one TCP connection per client.
-
-client -> server        ``{"op": "open", "fn_id": N, "oid": I?}``
-                        ``{"op": "call", "hid": H, "label": L, "values": [..]}``
-                        ``{"op": "close", "hid": H}``
-                        ``{"op": "new_instance", "class": C, "oid": I}``
-server -> client        ``{"result": V}`` | ``{"error": MSG}``
-mid-call callbacks      ``{"cb": "fetch_index", "name": A, "index": I}`` ...
-                        answered by ``{"value": V}`` before the result.
+The wire protocol (JSON lines over one TCP connection per client: every
+op, callback, error frame, the ``batch`` coalescing frame, the
+``fetch_batch`` callback, and the versioned handshake) is specified in
+``docs/PROTOCOL.md`` — that document is the reference; this module is one
+implementation of it.
 
 Use :func:`remote_server` (context manager, serves in a daemon thread) for
 tests and demos, or :class:`HiddenComponentServer` directly for a
@@ -27,12 +23,54 @@ import contextlib
 import json
 import socket
 import threading
+import time
 
+from repro.core.hidden import FragmentKind
+from repro.core.prefetch import touches_open_aggregates
 from repro.runtime.channel import Channel, LatencyModel
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.server import HiddenServer
 from repro.runtime.splitrun import RunResult
 from repro.runtime.values import RuntimeErr
+
+#: protocol revision announced in the server handshake (docs/PROTOCOL.md)
+PROTOCOL_VERSION = 2
+
+
+class ChannelError(RuntimeErr):
+    """The transport failed: connection refused, reset, or closed mid-run."""
+
+
+class ChannelTimeout(ChannelError):
+    """No frame arrived within the connection policy's ``timeout_s``."""
+
+
+class ChannelProtocolError(ChannelError):
+    """A frame arrived but was not valid protocol (malformed JSON, or a
+    handshake that does not speak a known protocol revision)."""
+
+
+class ConnectionPolicy:
+    """Client-side degradation policy (docs/PROTOCOL.md, "Timeouts and
+    reconnection").
+
+    ``timeout_s`` bounds every blocking read; ``connect_retries`` bounds
+    how many times connect + handshake is attempted before giving up
+    (retrying is only safe there — hidden session state is per-connection,
+    so a drop mid-session cannot be transparently resumed);
+    ``retry_backoff_s`` is the sleep between attempts, doubled each time.
+    """
+
+    __slots__ = ("timeout_s", "connect_retries", "retry_backoff_s")
+
+    def __init__(self, timeout_s=10.0, connect_retries=3, retry_backoff_s=0.05):
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if connect_retries < 1:
+            raise ValueError("connect_retries must be at least 1")
+        self.timeout_s = timeout_s
+        self.connect_retries = connect_retries
+        self.retry_backoff_s = retry_backoff_s
 
 
 def _send(wfile, payload):
@@ -41,10 +79,34 @@ def _send(wfile, payload):
 
 
 def _recv(rfile):
-    line = rfile.readline()
+    try:
+        line = rfile.readline()
+    except socket.timeout:
+        raise ChannelTimeout("no frame within the read timeout")
+    except OSError as exc:
+        raise ChannelError("connection failed: %s" % exc)
     if not line:
-        raise RuntimeErr("connection closed")
-    return json.loads(line.decode("utf-8"))
+        raise ChannelError("connection closed")
+    try:
+        return json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ChannelProtocolError("malformed frame: %s" % exc)
+
+
+def _deferrable_labels(registry):
+    """``{fn_id: [label, ...]}`` of one-way calls, advertised in the
+    handshake so the client can coalesce them (docs/PROTOCOL.md)."""
+    out = {}
+    for fn_id, (_name, fragments, _storage) in registry.items():
+        labels = [
+            label
+            for label, frag in fragments.items()
+            if frag.kind in (FragmentKind.SET, FragmentKind.STMTS)
+            and not touches_open_aggregates(frag)
+        ]
+        if labels:
+            out[fn_id] = sorted(labels)
+    return out
 
 
 class _SocketAccess:
@@ -62,10 +124,12 @@ class _SocketAccess:
         reply = _recv(self.rfile)
         if "error" in reply:
             raise RuntimeErr("client-side access failed: %s" % reply["error"])
-        return reply.get("value")
+        return reply
 
     def fetch_index(self, name, index):
-        return self._round_trip({"cb": "fetch_index", "name": name, "index": index})
+        return self._round_trip(
+            {"cb": "fetch_index", "name": name, "index": index}
+        ).get("value")
 
     def store_index(self, name, index, value):
         self._round_trip(
@@ -73,12 +137,20 @@ class _SocketAccess:
         )
 
     def fetch_field(self, name, field):
-        return self._round_trip({"cb": "fetch_field", "name": name, "field": field})
+        return self._round_trip(
+            {"cb": "fetch_field", "name": name, "field": field}
+        ).get("value")
 
     def store_field(self, name, field, value):
         self._round_trip(
             {"cb": "store_field", "name": name, "field": field, "value": value}
         )
+
+    def fetch_batch(self, items):
+        reply = self._round_trip(
+            {"cb": "fetch_batch", "items": [list(item) for item in items]}
+        )
+        return reply.get("values", [])
 
 
 class HiddenComponentServer:
@@ -93,6 +165,7 @@ class HiddenComponentServer:
             hidden_field_classes=dict(hidden_field_classes or {}),
         )
         self.hidden_field_classes = dict(hidden_field_classes or {})
+        self._deferrable = _deferrable_labels(registry)
         self._sock = socket.create_server((host, port))
         self.address = self._sock.getsockname()
         self._stop = threading.Event()
@@ -124,14 +197,27 @@ class HiddenComponentServer:
         inner = self._make_inner()
         rfile = conn.makefile("rb")
         wfile = conn.makefile("wb")
-        # handshake: tell the client which classes are split so it only
-        # reports relevant instance creations
-        _send(wfile, {"classes": sorted(self.hidden_field_classes)})
+        # handshake: protocol revision, which classes are split (so the
+        # client only reports relevant instance creations), and which calls
+        # are one-way (so a batching client knows what it may coalesce)
+        _send(
+            wfile,
+            {
+                "proto": PROTOCOL_VERSION,
+                "classes": sorted(self.hidden_field_classes),
+                "deferrable": {
+                    str(fn_id): labels
+                    for fn_id, labels in self._deferrable.items()
+                },
+            },
+        )
         try:
             while True:
                 try:
                     msg = _recv(rfile)
                 except RuntimeErr:
+                    # closed, reset, or unparseable: drop the session — the
+                    # client cannot be answered coherently any more
                     return
                 try:
                     result = self._dispatch(inner, msg, rfile, wfile)
@@ -161,8 +247,23 @@ class HiddenComponentServer:
                 inner.hidden_field_classes[msg["class"]]
             )
             return msg["oid"]
-        if op == "shutdown":
-            return "bye"
+        if op == "hello":
+            # the client declares its options; batching turns on the
+            # server-side half (prefetch manifests -> fetch_batch callbacks)
+            inner.batching = bool(msg.get("batching", False))
+            return "ok"
+        if op == "batch":
+            # coalesced one-way messages: dispatch in order, answer once.
+            # Deferrable calls never touch open memory, so no access window
+            # is needed; an error aborts the remainder of the batch and is
+            # reported in the single reply.
+            executed = 0
+            for sub in msg.get("msgs", []):
+                if sub.get("op") == "batch":
+                    raise RuntimeErr("batch frames do not nest")
+                self._dispatch(inner, sub, rfile, wfile)
+                executed += 1
+            return executed
         raise RuntimeErr("unknown op %r" % op)
 
 
@@ -178,18 +279,79 @@ class _Oid:
 class RemoteHiddenRuntime:
     """Client-side hidden runtime: satisfies the interpreter's hopen /
     hcall / hclose (and instance notification) over the network, answering
-    the server's access callbacks from the live open-component state."""
+    the server's access callbacks from the live open-component state.
 
-    def __init__(self, address, channel=None):
+    With ``batching=True`` the client coalesces one-way messages (close,
+    instance notifications, and calls the server's handshake marked
+    deferrable) into an outbox that is flushed as a single ``batch`` frame
+    immediately before the next request that needs an answer — the wire
+    equivalent of the simulated channel's send coalescing, and the "fire
+    and forget, await at the first dependent receive" pipelining of
+    docs/PROTOCOL.md.  Errors from a deferred message surface at that
+    synchronisation point rather than at the original call site.
+    """
+
+    def __init__(self, address, channel=None, batching=False, policy=None):
         self.channel = channel or Channel(LatencyModel.instant(), record=True)
-        self._sock = socket.create_connection(address)
-        self._rfile = self._sock.makefile("rb")
-        self._wfile = self._sock.makefile("wb")
-        handshake = _recv(self._rfile)
-        self._split_classes = set(handshake.get("classes", []))
+        self.batching = batching
+        self.policy = policy or ConnectionPolicy()
+        self._outbox = []
+        self._hid_fn = {}  # hid -> fn_id, to look up deferrable labels
+        self._connect(address)
+        if batching:
+            self._request({"op": "hello", "batching": True}, access=None,
+                          kind="open", sent=())
+
+    def _connect(self, address):
+        """Connect and complete the handshake, retrying per the policy —
+        the only phase where retrying is safe (no session state yet)."""
+        policy = self.policy
+        backoff = policy.retry_backoff_s
+        last_error = None
+        for attempt in range(policy.connect_retries):
+            if attempt:
+                time.sleep(backoff)
+                backoff *= 2
+            sock = None
+            try:
+                sock = socket.create_connection(address, timeout=policy.timeout_s)
+                sock.settimeout(policy.timeout_s)
+                rfile = sock.makefile("rb")
+                wfile = sock.makefile("wb")
+                handshake = _recv(rfile)
+                proto = handshake.get("proto", 1)
+                if proto > PROTOCOL_VERSION:
+                    raise ChannelProtocolError(
+                        "server speaks protocol %r, client speaks up to %d"
+                        % (proto, PROTOCOL_VERSION)
+                    )
+            except (ChannelError, OSError) as exc:
+                last_error = exc
+                if sock is not None:
+                    with contextlib.suppress(OSError):
+                        sock.close()
+                continue
+            self._sock = sock
+            self._rfile = rfile
+            self._wfile = wfile
+            self._split_classes = set(handshake.get("classes", []))
+            self._deferrable = {
+                int(fn_id): set(labels)
+                for fn_id, labels in handshake.get("deferrable", {}).items()
+            }
+            self.connect_attempts = attempt + 1
+            return
+        self.connect_attempts = policy.connect_retries
+        if isinstance(last_error, ChannelError):
+            raise last_error
+        raise ChannelError(
+            "could not connect to %r after %d attempts: %s"
+            % (address, policy.connect_retries, last_error)
+        )
 
     def close(self):
         with contextlib.suppress(OSError, RuntimeErr):
+            self._flush_outbox()
             _send(self._wfile, {"op": "shutdown"})
         with contextlib.suppress(OSError):
             self._sock.close()
@@ -201,33 +363,59 @@ class RemoteHiddenRuntime:
         if receiver is not None:
             payload["oid"] = receiver.oid
         hid = self._request(payload, access=None, kind="open", sent=(fn_id,))
+        self._hid_fn[hid] = fn_id
         return hid
 
     def close_activation(self, hid):
+        self._hid_fn.pop(hid, None)
+        if self.batching:
+            self._defer({"op": "close", "hid": hid}, kind="close", hid=hid,
+                        sent=())
+            return
         self._request({"op": "close", "hid": hid}, access=None, kind="close", sent=())
 
     def notify_new_instance(self, obj):
         if obj.class_name not in self._split_classes:
             return
-        self._request(
-            {"op": "new_instance", "class": obj.class_name, "oid": obj.oid},
-            access=None,
-            kind="open",
-            sent=(obj.oid,),
-        )
+        payload = {"op": "new_instance", "class": obj.class_name, "oid": obj.oid}
+        if self.batching:
+            self._defer(payload, kind="open", hid=None, sent=(obj.oid,))
+            return
+        self._request(payload, access=None, kind="open", sent=(obj.oid,))
 
     def call(self, hid, label, values, access):
-        return self._request(
-            {"op": "call", "hid": hid, "label": label, "values": list(values)},
-            access=access,
-            kind="call",
-            sent=tuple(values),
-            label=label,
-        )
+        payload = {"op": "call", "hid": hid, "label": label, "values": list(values)}
+        if self.batching and label in self._deferrable.get(
+            self._hid_fn.get(hid), ()
+        ):
+            self._defer(payload, kind="call", hid=hid, sent=tuple(values),
+                        label=label)
+            return 0  # the paper's "any" value: the open side ignores it
+        return self._request(payload, access=access, kind="call",
+                             sent=tuple(values), label=label)
 
     # -- plumbing --------------------------------------------------------------
 
+    def _defer(self, payload, kind, hid, sent, label=None):
+        self._outbox.append(payload)
+        self.channel.defer(kind, hid, "-", label, sent)
+
+    def _flush_outbox(self):
+        """Ship the outbox as one ``batch`` frame and await its single
+        reply.  Called before any request that needs an answer, so deferred
+        messages always reach the server before anything that could depend
+        on them."""
+        if not self._outbox:
+            return
+        msgs, self._outbox = self._outbox, []
+        _send(self._wfile, {"op": "batch", "msgs": msgs})
+        self.channel.flush_deferred()
+        reply = _recv(self._rfile)
+        if "error" in reply:
+            raise RuntimeErr("hidden server (deferred): %s" % reply["error"])
+
     def _request(self, payload, access, kind, sent, label=None):
+        self._flush_outbox()
         _send(self._wfile, payload)
         while True:
             msg = _recv(self._rfile)
@@ -256,6 +444,11 @@ class RemoteHiddenRuntime:
             elif cb == "store_field":
                 access.store_field(msg["name"], msg["field"], msg["value"])
                 value = None
+            elif cb == "fetch_batch":
+                values = access.fetch_batch(msg["items"])
+                self.channel.round_trip("cb_batch", None, "-", None, (), None)
+                _send(self._wfile, {"values": values})
+                return
             else:
                 _send(self._wfile, {"error": "unknown callback %r" % cb})
                 return
@@ -285,11 +478,11 @@ def remote_server(split_program):
 
 
 def run_split_remote(split_program, address, entry="main", args=(),
-                     max_steps=20_000_000):
+                     max_steps=20_000_000, batching=False, policy=None):
     """Run the open component locally against a hidden component served at
     ``address``; returns a :class:`RunResult` whose channel counted the
     real network round trips."""
-    runtime = RemoteHiddenRuntime(address)
+    runtime = RemoteHiddenRuntime(address, batching=batching, policy=policy)
     try:
         interp = Interpreter(
             split_program.program, hidden_runtime=runtime, max_steps=max_steps

@@ -19,6 +19,7 @@ from repro import obs
 from repro.obs.metrics import STEP_BUCKETS
 from repro.lang import ast
 from repro.core.hidden import FragmentKind
+from repro.core.prefetch import resolve_prefetch, touches_open_aggregates
 from repro.runtime.values import (
     RuntimeErr,
     binary_op,
@@ -34,6 +35,9 @@ M_CALLS = "repro_server_calls_total"
 M_FRAGMENT_STEPS = "repro_server_fragment_steps"
 M_STEPS = "repro_steps_total"
 M_STMTS = "repro_stmt_executions_total"
+
+#: batch-cache miss sentinel (prefetched values may legitimately be falsy)
+_MISSING = object()
 
 
 class _Break(Exception):
@@ -61,7 +65,8 @@ class HiddenServer:
     """Serves fragment executions for a split program."""
 
     def __init__(self, registry, channel, max_steps=20_000_000,
-                 hidden_globals=None, hidden_field_classes=None):
+                 hidden_globals=None, hidden_field_classes=None,
+                 batching=False):
         """``registry``: fn_id -> (name, {label: HiddenFragment}, storage_map).
 
         ``hidden_globals`` maps hidden global names to their initial values
@@ -69,6 +74,15 @@ class HiddenServer:
         ``{field: initial value}`` for split classes — per-instance hidden
         state is created when the open component reports ``new`` (the
         paper's instance-id protocol).
+
+        ``batching`` enables the communication optimisation layer
+        (docs/PROTOCOL.md): one-way messages (``close``, ``new_instance``,
+        and calls to ``set``/``stmts`` fragments that never touch open
+        aggregates) are deferred on the channel and coalesced into single
+        ``batch`` round trips, and fragments with prefetch manifests pull
+        open-memory reads through one ``fetch_batch`` callback per
+        statement execution.  Off by default: without it, channel traffic
+        is bit-identical to the paper's one-message-per-interaction model.
         """
         self.registry = registry
         self.channel = channel
@@ -79,6 +93,9 @@ class HiddenServer:
         self.hidden_globals = dict(hidden_globals or {})
         self.hidden_field_classes = dict(hidden_field_classes or {})
         self.instances = {}  # oid -> {hidden field: value}
+        self.batching = batching
+        self._deferrable = {}  # id(fragment) -> bool
+        self._prefetch_cache = {}  # id(fragment) -> (stmt_map, result_reads)
         registry = obs.get_registry()
         self._registry = registry if registry.enabled else None
 
@@ -107,7 +124,13 @@ class HiddenServer:
                     M_ACTIVATIONS, help="activation lifecycle events",
                     event="close",
                 ).inc()
-            self.channel.round_trip("close", hid, activation.fn_name, None, (), None)
+            if self.batching:
+                # hclose returns nothing: a pure send, safe to coalesce
+                self.channel.defer("close", hid, activation.fn_name, None, ())
+            else:
+                self.channel.round_trip(
+                    "close", hid, activation.fn_name, None, (), None
+                )
 
     def notify_new_instance(self, obj):
         """The class-splitting instance-id protocol: when the open component
@@ -117,9 +140,38 @@ class HiddenServer:
         if fields is None:
             return
         self.instances[obj.oid] = dict(fields)
-        self.channel.round_trip(
-            "open", None, obj.class_name, None, (obj.oid,), obj.oid
-        )
+        if self.batching:
+            # the open side never reads the echoed oid; any call that could
+            # touch the new instance flushes the batch first
+            self.channel.defer("open", None, obj.class_name, None, (obj.oid,))
+        else:
+            self.channel.round_trip(
+                "open", None, obj.class_name, None, (obj.oid,), obj.oid
+            )
+
+    # -- batching support --------------------------------------------------------
+
+    def _is_deferrable(self, fragment):
+        """A call is one-way when the open side ignores its result (``set``
+        and ``stmts`` fragments return the paper's "any" value) *and*
+        executing it needs no open-memory callbacks, so its effects stay
+        invisible until the next synchronisation point anyway."""
+        key = id(fragment)
+        cached = self._deferrable.get(key)
+        if cached is None:
+            cached = fragment.kind in (
+                FragmentKind.SET, FragmentKind.STMTS
+            ) and not touches_open_aggregates(fragment)
+            self._deferrable[key] = cached
+        return cached
+
+    def _fragment_prefetch(self, fragment):
+        key = id(fragment)
+        cached = self._prefetch_cache.get(key)
+        if cached is None:
+            cached = resolve_prefetch(fragment)
+            self._prefetch_cache[key] = cached
+        return cached
 
     # -- fragment execution ------------------------------------------------------
 
@@ -144,14 +196,27 @@ class HiddenServer:
         registry = self._registry
         stmt_counts = {} if registry is not None else None
         steps_before = self.steps
+        stmt_prefetch, result_reads = None, ()
+        if (
+            self.batching
+            and access is not None
+            and hasattr(access, "fetch_batch")
+        ):
+            stmt_prefetch, result_reads = self._fragment_prefetch(fragment)
         evaluator = _FragmentEvaluator(
             self, env, access, hid, fn_name, storage_map,
             activation.receiver_oid, stmt_counts=stmt_counts,
+            prefetch_map=stmt_prefetch,
         )
         for stmt in fragment.body:
             evaluator.exec_stmt(stmt)
         if fragment.result_expr is not None:
-            result = evaluator.eval_expr(fragment.result_expr)
+            if result_reads:
+                evaluator.prefetch_reads(result_reads)
+            try:
+                result = evaluator.eval_expr(fragment.result_expr)
+            finally:
+                evaluator.clear_batch_cache()
             if fragment.kind == FragmentKind.PRED:
                 result = bool(result)
         else:
@@ -160,7 +225,10 @@ class HiddenServer:
             self._flush_call_metrics(
                 fn_name, label, stmt_counts, self.steps - steps_before
             )
-        self.channel.round_trip("call", hid, fn_name, label, values, result)
+        if self.batching and self._is_deferrable(fragment):
+            self.channel.defer("call", hid, fn_name, label, values)
+        else:
+            self.channel.round_trip("call", hid, fn_name, label, values, result)
         return result
 
     def _flush_call_metrics(self, fn_name, label, stmt_counts, steps):
@@ -201,7 +269,7 @@ class _FragmentEvaluator:
     """
 
     def __init__(self, server, env, access, hid, fn_name, storage_map=None,
-                 receiver_oid=None, stmt_counts=None):
+                 receiver_oid=None, stmt_counts=None, prefetch_map=None):
         self.server = server
         self.env = env
         self.access = access
@@ -210,6 +278,10 @@ class _FragmentEvaluator:
         self.storage_map = storage_map or {}
         self.receiver_oid = receiver_oid
         self.stmt_counts = stmt_counts
+        #: id(stmt) -> [read nodes] from the fragment's prefetch manifest
+        self.prefetch_map = prefetch_map
+        #: id(read node) -> prefetched value, valid for one statement
+        self._batch_cache = {}
 
     def _read_name(self, name):
         kind = self.storage_map.get(name)
@@ -260,6 +332,21 @@ class _FragmentEvaluator:
         if counts is not None:
             kind = type(stmt).__name__
             counts[kind] = counts.get(kind, 0) + 1
+        reads = (
+            self.prefetch_map.get(id(stmt)) if self.prefetch_map else None
+        )
+        if reads is None:
+            return self._dispatch_stmt(stmt)
+        # callback batching: pull every open-memory read this statement
+        # performs in one fetch_batch round trip (re-issued per execution,
+        # so loop bodies batch on every iteration)
+        self.prefetch_reads(reads)
+        try:
+            return self._dispatch_stmt(stmt)
+        finally:
+            self.clear_batch_cache()
+
+    def _dispatch_stmt(self, stmt):
         if isinstance(stmt, ast.VarDecl):
             if stmt.init is not None:
                 value = self.eval_expr(stmt.init)
@@ -359,17 +446,54 @@ class _FragmentEvaluator:
                 )
             return call_builtin(expr.name, [self.eval_expr(a) for a in expr.args])
         if isinstance(expr, ast.Index):
+            if self._batch_cache:
+                cached = self._batch_cache.get(id(expr), _MISSING)
+                if cached is not _MISSING:
+                    return cached
             if not isinstance(expr.base, ast.VarRef):
                 raise RuntimeErr("hidden fragment: complex array base")
             index = self.eval_expr(expr.index)
             return self._cb_fetch_index(expr.base.name, index)
         if isinstance(expr, ast.FieldAccess):
+            if self._batch_cache:
+                cached = self._batch_cache.get(id(expr), _MISSING)
+                if cached is not _MISSING:
+                    return cached
             if not isinstance(expr.obj, ast.VarRef):
                 raise RuntimeErr("hidden fragment: complex field object")
             return self._cb_fetch_field(expr.obj.name, expr.name)
         raise RuntimeErr("hidden fragment cannot evaluate %r" % (expr,))
 
     # -- callbacks into open memory -----------------------------------------------------
+
+    def prefetch_reads(self, reads):
+        """Fetch a manifest entry's reads through one batched callback.
+
+        Index expressions are evaluated here, at statement entry — by
+        manifest eligibility they are pure and aggregate-free, so this
+        matches what the inline evaluation would have computed.  Fetched
+        values are cached per read *node*; :meth:`eval_expr` consumes the
+        cache instead of issuing individual callbacks.
+        """
+        items = []
+        for node in reads:
+            if isinstance(node, ast.Index):
+                items.append(("index", node.base.name, self.eval_expr(node.index)))
+            else:
+                items.append(("field", node.obj.name, node.name))
+        values = self.access.fetch_batch(items)
+        sent = []
+        for _kind, name, key in items:
+            sent.append(name)
+            sent.append(key)
+        self.server.channel.round_trip(
+            "cb_batch", self.hid, self.fn_name, None, tuple(sent), None
+        )
+        for node, value in zip(reads, values):
+            self._batch_cache[id(node)] = value
+
+    def clear_batch_cache(self):
+        self._batch_cache.clear()
 
     def _cb_fetch_index(self, name, index):
         value = self.access.fetch_index(name, index)

@@ -72,9 +72,13 @@ def run_original(program, entry="main", args=(), max_steps=20_000_000):
 
 
 def run_split(split_program, entry="main", args=(), latency=None, record=True,
-              max_steps=20_000_000):
+              max_steps=20_000_000, batching=False):
     """Execute a split program: open components in the interpreter, hidden
-    fragments on a :class:`HiddenServer`, through an accounting channel."""
+    fragments on a :class:`HiddenServer`, through an accounting channel.
+
+    ``batching=True`` turns on the communication optimisation layer (send
+    coalescing + callback batching, docs/PROTOCOL.md); results and output
+    are unchanged, only the channel traffic shape differs."""
     with obs.get_tracer().span("run.split", entry=entry):
         channel = Channel(latency or LatencyModel.lan(), record=record)
         server = HiddenServer(
@@ -83,10 +87,13 @@ def run_split(split_program, entry="main", args=(), latency=None, record=True,
             max_steps=max_steps,
             hidden_globals=getattr(split_program, "hidden_global_inits", None),
             hidden_field_classes=getattr(split_program, "hidden_field_classes", None),
+            batching=batching,
         )
         interp = Interpreter(split_program.program, hidden_runtime=server,
                              max_steps=max_steps)
         value = interp.run(entry, args)
+        # anything still coalescing at program exit goes out as a final batch
+        channel.flush_deferred()
     registry = obs.get_registry()
     if registry.enabled:
         registry.counter(M_RUNS, help="program executions", mode="split").inc()

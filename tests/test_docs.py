@@ -1,0 +1,40 @@
+"""The documentation hygiene checks CI runs (tools/check_docs.py), as a
+tier-1 test so dead links and stale metric names fail locally too."""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_are_clean(capsys):
+    assert check_docs.main() == 0, capsys.readouterr().err
+
+
+def test_checker_sees_this_repos_metrics():
+    known = check_docs.defined_metrics()
+    assert "repro_channel_round_trips_total" in known
+    assert "repro_channel_coalesced_total" in known
+    assert "repro_channel_batch_size" in known
+    assert "repro_phase_seconds" in known
+
+
+def test_checker_flags_dead_link(tmp_path):
+    doc = tmp_path / "X.md"
+    doc.write_text("see [gone](nope/missing.md)")
+    errors = []
+    check_docs.check_links(doc, doc.read_text(), errors)
+    assert len(errors) == 1 and "missing.md" in errors[0]
+
+
+def test_checker_flags_stale_metric(tmp_path):
+    doc = tmp_path / "X.md"
+    doc.write_text("`repro_totally_made_up_total` is great")
+    errors = []
+    check_docs.check_metrics(
+        doc, doc.read_text(), {"repro_channel_round_trips_total"}, errors
+    )
+    assert len(errors) == 1 and "repro_totally_made_up_total" in errors[0]

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Documentation hygiene checks, run by the CI docs job.
+
+Two failure modes that rot silently:
+
+1. **Dead relative links** — ``[text](OTHER.md)`` in ``docs/*.md`` (and
+   the top-level ``*.md``) pointing at files that do not exist, including
+   broken anchors of the form ``FILE.md#section``.
+2. **Stale metric names** — docs citing a ``repro_*`` metric that no
+   ``M_* = "repro_..."`` constant in ``src/`` defines any more (the
+   metric names are a stable interface; see docs/OBSERVABILITY.md).
+
+Exit status 0 when clean, 1 with a findings listing otherwise.  No
+dependencies beyond the standard library, so it runs anywhere::
+
+    python tools/check_docs.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images and absolute URLs
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)#\s]+)(#[A-Za-z0-9_.-]*)?\)")
+#: exported metric constants: M_FOO = "repro_..." (plus the odd
+#: non-M_-prefixed one like PHASE_SECONDS)
+_METRIC_DEF = re.compile(r'^[A-Z][A-Z0-9_]*\s*=\s*"(repro_[a-z0-9_]+)"',
+                         re.MULTILINE)
+#: metric mentions in docs (prometheus names; histogram suffixes stripped)
+_METRIC_USE = re.compile(r"\brepro_[a-z0-9_]+\b")
+#: suffixes the prometheus exposition appends to histogram names
+_EXPO_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _rel(path):
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def doc_files():
+    files = sorted((REPO / "docs").glob("*.md"))
+    files.extend(sorted(REPO.glob("*.md")))
+    return files
+
+
+def defined_metrics():
+    names = set()
+    for path in (REPO / "src").rglob("*.py"):
+        names.update(_METRIC_DEF.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def check_links(path, text, errors):
+    for match in _LINK.finditer(text):
+        target, _anchor = match.group(1), match.group(2)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(
+                "%s: dead relative link -> %s" % (_rel(path), target)
+            )
+
+
+def check_metrics(path, text, known, errors):
+    for name in sorted(set(_METRIC_USE.findall(text))):
+        base = name
+        for suffix in _EXPO_SUFFIXES:
+            if base.endswith(suffix) and base[: -len(suffix)] in known:
+                base = base[: -len(suffix)]
+                break
+        if base not in known:
+            errors.append(
+                "%s: stale metric name %r (no M_* constant defines it)"
+                % (_rel(path), name)
+            )
+
+
+def main():
+    known = defined_metrics()
+    if not known:
+        print("check_docs: found no M_* metric constants under src/ — "
+              "the definition regex is broken", file=sys.stderr)
+        return 1
+    errors = []
+    for path in doc_files():
+        text = path.read_text(encoding="utf-8")
+        check_links(path, text, errors)
+        check_metrics(path, text, known, errors)
+    if errors:
+        print("documentation checks failed:", file=sys.stderr)
+        for error in errors:
+            print("  " + error, file=sys.stderr)
+        return 1
+    print("docs ok: %d files, %d known metrics" % (len(doc_files()), len(known)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
