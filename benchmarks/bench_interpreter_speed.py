@@ -1,0 +1,131 @@
+"""Interpreter throughput: AST walker vs the closure-compiled engine.
+
+Measures statements/second for both engines on the five Table 5 workloads
+and on a tight arithmetic loop (the best case for compilation: almost no
+per-statement work besides dispatch).  Both engines are bit-identical —
+tests/test_engine_equivalence.py proves it — so this file only measures.
+
+Run as a script to regenerate the committed results::
+
+    PYTHONPATH=src python benchmarks/bench_interpreter_speed.py \
+        --output BENCH_interp.json
+
+``tools/check_bench.py`` guards the committed numbers (compiled must never
+be slower, and the tight loop must hold at least a 2x speedup).  The pytest
+entry point below is the CI smoke variant: a small workload, asserting the
+compiled engine wins, without touching the committed file.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.lang import check_program, parse_program
+from repro.runtime.compile import ENGINES
+from repro.runtime.interpreter import Interpreter
+from repro.workloads.corpora import SPECS, build_corpus
+
+TIGHT_LOOP_SRC = """
+func int main(int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+"""
+
+TIGHT_LOOP_N = 200_000
+WORKLOAD_SCALE = 0.25
+WORKLOAD_ARGS = (2, 30)
+REPEATS = 3
+
+
+def _throughput(program, args, engine, repeats=REPEATS):
+    """Best-of-N statements/second for one program under one engine."""
+    best = 0.0
+    value = steps = None
+    for _ in range(repeats):
+        interp = Interpreter(program, engine=engine)
+        started = time.perf_counter()
+        value = interp.run("main", args)
+        elapsed = time.perf_counter() - started
+        steps = interp.steps
+        best = max(best, steps / elapsed)
+    return {"value": value, "steps": steps, "stmts_per_s": best}
+
+
+def _measure(program, args, repeats=REPEATS):
+    runs = {engine: _throughput(program, args, engine, repeats)
+            for engine in ENGINES}
+    # throughput may differ; the computation must not
+    assert runs["ast"]["value"] == runs["compiled"]["value"]
+    assert runs["ast"]["steps"] == runs["compiled"]["steps"]
+    ast_rate = runs["ast"]["stmts_per_s"]
+    compiled_rate = runs["compiled"]["stmts_per_s"]
+    return {
+        "steps": runs["ast"]["steps"],
+        "ast_stmts_per_s": round(ast_rate),
+        "compiled_stmts_per_s": round(compiled_rate),
+        "speedup": round(compiled_rate / ast_rate, 2),
+    }
+
+
+def _tight_loop_program():
+    program = parse_program(TIGHT_LOOP_SRC)
+    check_program(program)
+    return program
+
+
+def run_suite(scale=WORKLOAD_SCALE, tight_n=TIGHT_LOOP_N, repeats=REPEATS):
+    results = {"tight_loop": _measure(_tight_loop_program(), (tight_n,),
+                                      repeats)}
+    for name in sorted(SPECS):
+        corpus = build_corpus(name, scale=scale)
+        results[name] = _measure(corpus.program, WORKLOAD_ARGS, repeats)
+    return {
+        "description": "interpreter throughput, ast vs compiled engine "
+                       "(statements/second, best of %d)" % repeats,
+        "scale": scale,
+        "tight_loop_n": tight_n,
+        "workloads": results,
+    }
+
+
+# -- pytest smoke entry point (CI: compiled must not be slower) ---------------
+
+
+def test_compiled_engine_not_slower_smoke():
+    report = _measure(_tight_loop_program(), (50_000,), repeats=2)
+    assert report["speedup"] >= 1.0, report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="bench_interpreter_speed")
+    parser.add_argument("--scale", type=float, default=WORKLOAD_SCALE)
+    parser.add_argument("--tight-n", type=int, default=TIGHT_LOOP_N)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--output", help="write JSON here (default stdout)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(scale=args.scale, tight_n=args.tight_n,
+                       repeats=args.repeats)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print("wrote %s" % args.output)
+    else:
+        sys.stdout.write(text)
+    for name, row in sorted(report["workloads"].items()):
+        print("%-12s ast %9d/s  compiled %9d/s  %.2fx"
+              % (name, row["ast_stmts_per_s"], row["compiled_stmts_per_s"],
+                 row["speedup"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ import sys
 import time
 
 from repro.bench import experiments
+from repro.runtime.compile import DEFAULT_ENGINE, ENGINES
 
 
 def main(argv=None):
@@ -22,6 +23,11 @@ def main(argv=None):
         help="which experiments (table1..table5, fig2, fig3, attack); default all",
     )
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
+        help="execution engine for the runtime experiments "
+        "(table5, fig2, fig3); see docs/ENGINE.md",
+    )
     args = parser.parse_args(argv)
 
     runners = {
@@ -29,9 +35,10 @@ def main(argv=None):
         "table2": lambda: experiments.run_table2(scale=args.scale),
         "table3": lambda: experiments.run_table3(scale=args.scale),
         "table4": lambda: experiments.run_table4(scale=args.scale),
-        "table5": lambda: experiments.run_table5(scale=args.scale),
-        "fig2": experiments.run_fig2_experiment,
-        "fig3": experiments.run_fig3_experiment,
+        "table5": lambda: experiments.run_table5(scale=args.scale,
+                                                 engine=args.engine),
+        "fig2": lambda: experiments.run_fig2_experiment(engine=args.engine),
+        "fig3": lambda: experiments.run_fig3_experiment(engine=args.engine),
         "attack": experiments.run_attack_experiment,
     }
     names = args.names or list(runners)

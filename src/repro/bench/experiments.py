@@ -16,6 +16,7 @@ from repro.core.pipeline import auto_split
 from repro.core.program import split_program
 from repro.lang import check_program, parse_program
 from repro.runtime.channel import M_ROUND_TRIPS, M_SIM_MS, LatencyModel
+from repro.runtime.compile import DEFAULT_ENGINE
 from repro.runtime.interpreter import M_STEPS
 from repro.runtime.splitrun import check_equivalence, run_original, run_split
 from repro.security.lattice import CType, VARYING
@@ -226,7 +227,8 @@ def run_table4(scale=1.0):
 # -- Table 5 -----------------------------------------------------------------
 
 
-def run_table5(scale=1.0, latency=None, runs=None, batching=False):
+def run_table5(scale=1.0, latency=None, runs=None, batching=False,
+               engine=DEFAULT_ENGINE):
     """Runtime overhead caused by software splitting.
 
     Executes each paper row's driver invocation on both the original and
@@ -260,10 +262,10 @@ def run_table5(scale=1.0, latency=None, runs=None, batching=False):
         sp = split_corpus(run.benchmark, scale)
         args = (run.n, run.m)
         with obs.telemetry() as (reg_before, _tracer):
-            before = run_original(corpus.program, args=args)
+            before = run_original(corpus.program, args=args, engine=engine)
         with obs.telemetry() as (reg_after, _tracer):
             after = run_split(sp, args=args, latency=latency, record=False,
-                              batching=batching)
+                              batching=batching, engine=engine)
         if before.output != after.output:
             raise AssertionError(
                 "split %s diverged on %s" % (run.benchmark, run.input_name)
@@ -317,13 +319,13 @@ def _fig_setup(source, fn_name, var):
     return program, checker, sp
 
 
-def run_fig2_experiment():
+def run_fig2_experiment(engine=DEFAULT_ENGINE):
     """The paper's worked splitting example (Fig. 2)."""
     program, checker, sp = _fig_setup(
         paperexamples.FIG2_SOURCE, paperexamples.FIG2_FUNCTION, paperexamples.FIG2_VARIABLE
     )
     with obs.telemetry() as (registry, _tracer):
-        before, after = check_equivalence(program, sp)
+        before, after = check_equivalence(program, sp, engine=engine)
     report = analyze_split_security(sp, checker, "fig2")
     table = Table(
         "Fig. 2: splitting f on variable a",
@@ -340,12 +342,12 @@ def run_fig2_experiment():
     return ExperimentResult("fig2", data, table)
 
 
-def run_fig3_experiment():
+def run_fig3_experiment(engine=DEFAULT_ENGINE):
     """The estimator example (Fig. 3): definite leaks and the RAISE rule."""
     program, checker, sp = _fig_setup(
         paperexamples.FIG3_SOURCE, paperexamples.FIG3_FUNCTION, paperexamples.FIG3_VARIABLE
     )
-    check_equivalence(program, sp)
+    check_equivalence(program, sp, engine=engine)
     report = analyze_split_security(sp, checker, "fig3")
     table = Table(
         "Fig. 3: complexity estimation on the modified example",

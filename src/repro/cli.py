@@ -34,6 +34,7 @@ from repro.lang.errors import LangError
 from repro.runtime.values import RuntimeErr
 from repro.lang.pretty import pretty_function
 from repro.runtime.channel import LatencyModel
+from repro.runtime.compile import DEFAULT_ENGINE, ENGINES
 from repro.runtime.splitrun import check_equivalence, run_original, run_split
 from repro.security.report import analyze_split_security
 
@@ -89,7 +90,8 @@ def cmd_run(args, out):
     with _metrics_sink(args.metrics):
         program, _ = _load(args.file)
         result = run_original(program, entry=args.entry,
-                              args=_parse_args_list(args.args))
+                              args=_parse_args_list(args.args),
+                              engine=args.engine)
     for line in result.output:
         print(line, file=out)
     if result.value is not None:
@@ -133,13 +135,14 @@ def cmd_run_split(args, out):
         sp = _split_for(program, checker, args)
         run_args = _parse_args_list(args.args)
         batching = getattr(args, "batching", "off") == "on"
+        engine = getattr(args, "engine", DEFAULT_ENGINE)
         if args.remote:
             from repro.runtime.remote import run_split_remote
 
             host, _, port = args.remote.rpartition(":")
             result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
                                       entry=args.entry, args=run_args,
-                                      batching=batching)
+                                      batching=batching, engine=engine)
             for line in result.output:
                 print(line, file=out)
             print(
@@ -148,10 +151,11 @@ def cmd_run_split(args, out):
                 file=out,
             )
             return 0
-        check_equivalence(program, sp, entry=args.entry, args=run_args)
+        check_equivalence(program, sp, entry=args.entry, args=run_args,
+                          engine=engine)
         latency = _LATENCIES[args.latency]()
         result = run_split(sp, entry=args.entry, args=run_args, latency=latency,
-                           batching=batching)
+                           batching=batching, engine=engine)
     for line in result.output:
         print(line, file=out)
     summary = result.channel.transcript.summary()
@@ -229,6 +233,7 @@ def cmd_serve(args, out):
             hidden_field_classes=deployed.hidden_field_classes,
             host=args.host,
             port=args.port,
+            engine=getattr(args, "engine", DEFAULT_ENGINE),
         )
         print("hidden component serving on %s:%d" % server.address, file=out)
         try:
@@ -252,9 +257,11 @@ def cmd_stats(args, out):
         if sp.splits:
             latency = _LATENCIES[args.latency]()
             run_split(sp, entry=args.entry, args=run_args, latency=latency,
-                      batching=getattr(args, "batching", "off") == "on")
+                      batching=getattr(args, "batching", "off") == "on",
+                      engine=getattr(args, "engine", DEFAULT_ENGINE))
         else:
-            run_original(program, entry=args.entry, args=run_args)
+            run_original(program, entry=args.entry, args=run_args,
+                         engine=getattr(args, "engine", DEFAULT_ENGINE))
     if args.format == "prometheus":
         print(export.to_prometheus(registry), file=out, end="")
     else:
@@ -378,9 +385,18 @@ def build_parser():
             "off reproduces the paper's one-message-per-interaction model",
         )
 
+    def engine_flag(p):
+        p.add_argument(
+            "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
+            help="execution engine (docs/ENGINE.md): 'compiled' lowers "
+            "bodies to closures once and runs them, 'ast' walks the tree; "
+            "observable behaviour is bit-identical",
+        )
+
     p = sub.add_parser("run", help="run a program unmodified")
     common(p, with_selection=False)
     p.add_argument("--args", nargs="*", default=[], help="entry arguments")
+    engine_flag(p)
     metrics_flag(p)
     p.set_defaults(fn=cmd_run)
 
@@ -395,6 +411,7 @@ def build_parser():
     p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
     p.add_argument("--remote", help="host:port of a served hidden component")
     batching_flag(p)
+    engine_flag(p)
     metrics_flag(p)
     p.set_defaults(fn=cmd_run_split)
 
@@ -412,6 +429,7 @@ def build_parser():
     p.add_argument("manifest", help="manifest JSON from 'export'")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0)
+    engine_flag(p)
     metrics_flag(p)
     p.set_defaults(fn=cmd_serve)
 
@@ -422,6 +440,7 @@ def build_parser():
     p.add_argument("--args", nargs="*", default=[])
     p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
     batching_flag(p)
+    engine_flag(p)
     p.add_argument(
         "--format", choices=["json", "prometheus"], default="json",
         help="exposition format (default: json)",

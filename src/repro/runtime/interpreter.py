@@ -15,10 +15,23 @@ simulated runtime-overhead measurements in the Table 5 benchmark.
 from repro import obs
 from repro.lang import ast
 from repro.lang.typecheck import BUILTIN_SIGNATURES
-from repro.runtime.values import (
+# _Return/_Break/_Continue are shared with the compiled engine so control
+# flow crosses engine boundaries; StepLimitExceeded is re-exported here for
+# backward compatibility (it lives in values.py).
+from repro.runtime.compile import (  # noqa: F401 (re-exported)
+    DEFAULT_ENGINE,
+    OpenCompiler,
+    _Break,
+    _Continue,
+    _Return,
+    count_engine,
+    validate_engine,
+)
+from repro.runtime.values import (  # noqa: F401 (StepLimitExceeded re-exported)
     ArrayValue,
     ObjectValue,
     RuntimeErr,
+    StepLimitExceeded,
     binary_op,
     call_builtin,
     default_value,
@@ -31,23 +44,6 @@ HIDDEN_BUILTINS = ("hopen", "hcall", "hclose")
 #: exported metric names (documented in docs/OBSERVABILITY.md)
 M_STEPS = "repro_steps_total"
 M_STMTS = "repro_stmt_executions_total"
-
-
-class StepLimitExceeded(RuntimeErr):
-    """The configured execution budget was exhausted."""
-
-
-class _Return(Exception):
-    def __init__(self, value):
-        self.value = value
-
-
-class _Break(Exception):
-    pass
-
-
-class _Continue(Exception):
-    pass
 
 
 class Env:
@@ -117,7 +113,12 @@ class Interpreter:
     """Executes a program AST."""
 
     def __init__(self, program, hidden_runtime=None, max_steps=20_000_000,
-                 max_call_depth=400):
+                 max_call_depth=400, engine=DEFAULT_ENGINE):
+        """``engine`` selects the execution strategy (docs/ENGINE.md):
+        ``"compiled"`` (default) lowers each function body to closures on
+        first call via :class:`~repro.runtime.compile.OpenCompiler`;
+        ``"ast"`` walks the tree directly.  Both are observably
+        bit-identical."""
         self.program = program
         self.hidden = hidden_runtime
         self.max_steps = max_steps
@@ -143,6 +144,16 @@ class Interpreter:
         for cls in program.classes:
             for m in cls.methods:
                 self._methods[(cls.name, m.name)] = m
+        #: entry-name -> Function; programs are immutable after load, so
+        #: resolutions (including dotted "Cls.method" splits) never expire
+        self._resolve_cache = {}
+        self.engine = validate_engine(engine)
+        self._compiler = (
+            OpenCompiler(self._functions, self._methods, self._classes)
+            if self.engine == "compiled"
+            else None
+        )
+        count_engine("open", self.engine)
 
     def _literal(self, expr):
         if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
@@ -214,7 +225,12 @@ class Interpreter:
                 "call depth exceeded %d (unbounded recursion?)" % self.max_call_depth
             )
         try:
-            self.exec_body(fn.body, env)
+            compiler = self._compiler
+            if compiler is not None:
+                for thunk in compiler.body(fn):
+                    thunk(self, env)
+            else:
+                self.exec_body(fn.body, env)
         except _Return as r:
             return r.value
         finally:
@@ -224,13 +240,22 @@ class Interpreter:
     # -- name resolution -------------------------------------------------------
 
     def _resolve_function(self, name):
+        fn = self._resolve_cache.get(name)
+        if fn is not None:
+            return fn
         if name in self._functions:
-            return self._functions[name]
-        if "." in name:
+            fn = self._functions[name]
+        elif "." in name:
             cls, method = name.split(".", 1)
-            if (cls, method) in self._methods:
-                return self._methods[(cls, method)]
-        raise RuntimeErr("no function %r" % name)
+            fn = self._methods.get((cls, method))
+        if fn is None:
+            raise RuntimeErr("no function %r" % name)
+        self._resolve_cache[name] = fn
+        return fn
+
+    def open_access(self, env):
+        """The :class:`OpenAccess` window for one activation (``hcall``)."""
+        return OpenAccess(self, env)
 
     def lookup(self, env, name):
         if name in env.locals:

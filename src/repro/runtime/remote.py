@@ -28,6 +28,7 @@ import time
 from repro.core.hidden import FragmentKind
 from repro.core.prefetch import touches_open_aggregates
 from repro.runtime.channel import Channel, LatencyModel
+from repro.runtime.compile import DEFAULT_ENGINE
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.server import HiddenServer
 from repro.runtime.splitrun import RunResult
@@ -157,12 +158,13 @@ class HiddenComponentServer:
     """Hosts the hidden component behind a TCP socket."""
 
     def __init__(self, registry, hidden_globals=None, hidden_field_classes=None,
-                 host="127.0.0.1", port=0):
+                 host="127.0.0.1", port=0, engine=DEFAULT_ENGINE):
         self._make_inner = lambda: HiddenServer(
             registry,
             Channel(LatencyModel.instant(), record=False),
             hidden_globals=dict(hidden_globals or {}),
             hidden_field_classes=dict(hidden_field_classes or {}),
+            engine=engine,
         )
         self.hidden_field_classes = dict(hidden_field_classes or {})
         self._deferrable = _deferrable_labels(registry)
@@ -478,14 +480,16 @@ def remote_server(split_program):
 
 
 def run_split_remote(split_program, address, entry="main", args=(),
-                     max_steps=20_000_000, batching=False, policy=None):
+                     max_steps=20_000_000, batching=False, policy=None,
+                     engine=DEFAULT_ENGINE):
     """Run the open component locally against a hidden component served at
     ``address``; returns a :class:`RunResult` whose channel counted the
     real network round trips."""
     runtime = RemoteHiddenRuntime(address, batching=batching, policy=policy)
     try:
         interp = Interpreter(
-            split_program.program, hidden_runtime=runtime, max_steps=max_steps
+            split_program.program, hidden_runtime=runtime, max_steps=max_steps,
+            engine=engine,
         )
         value = interp.run(entry, args)
         return RunResult(value, interp.output, interp.steps, 0, runtime.channel)

@@ -20,6 +20,15 @@ from repro.obs.metrics import STEP_BUCKETS
 from repro.lang import ast
 from repro.core.hidden import FragmentKind
 from repro.core.prefetch import resolve_prefetch, touches_open_aggregates
+# control flow is shared with the compiled engine (repro.runtime.compile)
+from repro.runtime.compile import (
+    DEFAULT_ENGINE,
+    _Break,
+    _Continue,
+    compile_fragment,
+    count_engine,
+    validate_engine,
+)
 from repro.runtime.values import (
     RuntimeErr,
     binary_op,
@@ -40,14 +49,6 @@ M_STMTS = "repro_stmt_executions_total"
 _MISSING = object()
 
 
-class _Break(Exception):
-    pass
-
-
-class _Continue(Exception):
-    pass
-
-
 class Activation:
     """Hidden state of one live instance of a split function."""
 
@@ -66,7 +67,7 @@ class HiddenServer:
 
     def __init__(self, registry, channel, max_steps=20_000_000,
                  hidden_globals=None, hidden_field_classes=None,
-                 batching=False):
+                 batching=False, engine=DEFAULT_ENGINE):
         """``registry``: fn_id -> (name, {label: HiddenFragment}, storage_map).
 
         ``hidden_globals`` maps hidden global names to their initial values
@@ -83,6 +84,11 @@ class HiddenServer:
         open-memory reads through one ``fetch_batch`` callback per
         statement execution.  Off by default: without it, channel traffic
         is bit-identical to the paper's one-message-per-interaction model.
+
+        ``engine`` selects the fragment execution strategy (docs/ENGINE.md):
+        ``"compiled"`` (default) lowers each fragment to closures on first
+        call via :func:`repro.runtime.compile.compile_fragment`; ``"ast"``
+        walks the tree.  Both are observably bit-identical.
         """
         self.registry = registry
         self.channel = channel
@@ -96,6 +102,10 @@ class HiddenServer:
         self.batching = batching
         self._deferrable = {}  # id(fragment) -> bool
         self._prefetch_cache = {}  # id(fragment) -> (stmt_map, result_reads)
+        self.engine = validate_engine(engine)
+        # id(fragment) -> CompiledFragment; None when running the AST engine
+        self._compiled = {} if self.engine == "compiled" else None
+        count_engine("hidden", self.engine)
         registry = obs.get_registry()
         self._registry = registry if registry.enabled else None
 
@@ -173,6 +183,14 @@ class HiddenServer:
             self._prefetch_cache[key] = cached
         return cached
 
+    def _compiled_fragment(self, fragment, storage_map):
+        key = id(fragment)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = compile_fragment(fragment, storage_map)
+            self._compiled[key] = compiled
+        return compiled
+
     # -- fragment execution ------------------------------------------------------
 
     def call(self, hid, label, values, access):
@@ -208,23 +226,40 @@ class HiddenServer:
             activation.receiver_oid, stmt_counts=stmt_counts,
             prefetch_map=stmt_prefetch,
         )
-        for stmt in fragment.body:
-            evaluator.exec_stmt(stmt)
-        if fragment.result_expr is not None:
-            if result_reads:
-                evaluator.prefetch_reads(result_reads)
-            try:
-                result = evaluator.eval_expr(fragment.result_expr)
-            finally:
-                evaluator.clear_batch_cache()
-            if fragment.kind == FragmentKind.PRED:
-                result = bool(result)
-        else:
-            result = 0  # the paper's "any" value
-        if registry is not None:
-            self._flush_call_metrics(
-                fn_name, label, stmt_counts, self.steps - steps_before
-            )
+        compiled = (
+            self._compiled_fragment(fragment, storage_map)
+            if self._compiled is not None
+            else None
+        )
+        try:
+            if compiled is not None:
+                for thunk in compiled.body:
+                    thunk(evaluator)
+            else:
+                for stmt in fragment.body:
+                    evaluator.exec_stmt(stmt)
+            if fragment.result_expr is not None:
+                if result_reads:
+                    evaluator.prefetch_reads(result_reads)
+                try:
+                    if compiled is not None:
+                        result = compiled.result(evaluator)
+                    else:
+                        result = evaluator.eval_expr(fragment.result_expr)
+                finally:
+                    evaluator.clear_batch_cache()
+                if fragment.kind == FragmentKind.PRED:
+                    result = bool(result)
+            else:
+                result = 0  # the paper's "any" value
+        finally:
+            # flush even when the fragment aborts (step limit, runtime
+            # error) — partial step/statement counts would otherwise be
+            # dropped from the registry
+            if registry is not None:
+                self._flush_call_metrics(
+                    fn_name, label, stmt_counts, self.steps - steps_before
+                )
         if self.batching and self._is_deferrable(fragment):
             self.channel.defer("call", hid, fn_name, label, values)
         else:

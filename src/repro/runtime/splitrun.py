@@ -15,6 +15,7 @@ Absolute numbers are arbitrary; the *ratio* after/before — the paper's
 
 from repro import obs
 from repro.runtime.channel import Channel, LatencyModel
+from repro.runtime.compile import DEFAULT_ENGINE
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.server import HiddenServer
 from repro.runtime.values import RuntimeErr
@@ -60,10 +61,11 @@ class RunResult:
         )
 
 
-def run_original(program, entry="main", args=(), max_steps=20_000_000):
+def run_original(program, entry="main", args=(), max_steps=20_000_000,
+                 engine=DEFAULT_ENGINE):
     """Execute the original (unsplit) program."""
     with obs.get_tracer().span("run.original", entry=entry):
-        interp = Interpreter(program, max_steps=max_steps)
+        interp = Interpreter(program, max_steps=max_steps, engine=engine)
         value = interp.run(entry, args)
     registry = obs.get_registry()
     if registry.enabled:
@@ -72,13 +74,16 @@ def run_original(program, entry="main", args=(), max_steps=20_000_000):
 
 
 def run_split(split_program, entry="main", args=(), latency=None, record=True,
-              max_steps=20_000_000, batching=False):
+              max_steps=20_000_000, batching=False, engine=DEFAULT_ENGINE):
     """Execute a split program: open components in the interpreter, hidden
     fragments on a :class:`HiddenServer`, through an accounting channel.
 
     ``batching=True`` turns on the communication optimisation layer (send
     coalescing + callback batching, docs/PROTOCOL.md); results and output
-    are unchanged, only the channel traffic shape differs."""
+    are unchanged, only the channel traffic shape differs.
+
+    ``engine`` selects the execution strategy on *both* sides
+    (docs/ENGINE.md); the engines are observably bit-identical."""
     with obs.get_tracer().span("run.split", entry=entry):
         channel = Channel(latency or LatencyModel.lan(), record=record)
         server = HiddenServer(
@@ -88,9 +93,10 @@ def run_split(split_program, entry="main", args=(), latency=None, record=True,
             hidden_globals=getattr(split_program, "hidden_global_inits", None),
             hidden_field_classes=getattr(split_program, "hidden_field_classes", None),
             batching=batching,
+            engine=engine,
         )
         interp = Interpreter(split_program.program, hidden_runtime=server,
-                             max_steps=max_steps)
+                             max_steps=max_steps, engine=engine)
         value = interp.run(entry, args)
         # anything still coalescing at program exit goes out as a final batch
         channel.flush_deferred()
@@ -105,7 +111,7 @@ class EquivalenceError(AssertionError):
 
 
 def check_equivalence(program, split_program, entry="main", args=(),
-                      max_steps=20_000_000):
+                      max_steps=20_000_000, engine=DEFAULT_ENGINE):
     """Run both versions and compare return value and printed output.
 
     Returns the pair of :class:`RunResult` on success, raises
@@ -113,9 +119,10 @@ def check_equivalence(program, split_program, entry="main", args=(),
     splitter's test suite: the transformation must preserve observable
     behaviour for every program and input.
     """
-    before = run_original(program, entry, args, max_steps=max_steps)
+    before = run_original(program, entry, args, max_steps=max_steps, engine=engine)
     after = run_split(
-        split_program, entry, args, latency=LatencyModel.instant(), max_steps=max_steps
+        split_program, entry, args, latency=LatencyModel.instant(),
+        max_steps=max_steps, engine=engine,
     )
     if _values_differ(before.value, after.value):
         raise EquivalenceError(

@@ -14,6 +14,16 @@ class RuntimeErr(Exception):
     """Raised for dynamic errors (division by zero, bad index, ...)."""
 
 
+class StepLimitExceeded(RuntimeErr):
+    """The configured execution budget was exhausted.
+
+    Lives here (rather than in :mod:`repro.runtime.interpreter`, which
+    re-exports it) so that both execution engines — the AST walker and the
+    closure compiler in :mod:`repro.runtime.compile` — can raise it without
+    a circular import.
+    """
+
+
 class ArrayValue:
     """A one-dimensional array."""
 
@@ -101,55 +111,118 @@ def _numeric(v, op):
     return v
 
 
+def _op_and(left, right):
+    return bool(left) and bool(right)
+
+
+def _op_or(left, right):
+    return bool(left) or bool(right)
+
+
+def _op_eq(left, right):
+    return left == right
+
+
+def _op_ne(left, right):
+    return left != right
+
+
+def _op_lt(left, right):
+    return _numeric(left, "<") < _numeric(right, "<")
+
+
+def _op_le(left, right):
+    return _numeric(left, "<=") <= _numeric(right, "<=")
+
+
+def _op_gt(left, right):
+    return _numeric(left, ">") > _numeric(right, ">")
+
+
+def _op_ge(left, right):
+    return _numeric(left, ">=") >= _numeric(right, ">=")
+
+
+def _op_add(left, right):
+    return _numeric(left, "+") + _numeric(right, "+")
+
+
+def _op_sub(left, right):
+    return _numeric(left, "-") - _numeric(right, "-")
+
+
+def _op_mul(left, right):
+    return _numeric(left, "*") * _numeric(right, "*")
+
+
+def _op_div(left, right):
+    a = _numeric(left, "/")
+    b = _numeric(right, "/")
+    if _is_int(a) and _is_int(b):
+        return java_int_div(a, b)
+    if b == 0:
+        raise RuntimeErr("float division by zero")
+    return a / b
+
+
+def _op_rem(left, right):
+    a = _numeric(left, "%")
+    b = _numeric(right, "%")
+    if _is_int(a) and _is_int(b):
+        return java_int_rem(a, b)
+    raise RuntimeErr("'%%' needs ints, got %r and %r" % (a, b))
+
+
+#: operator symbol -> implementation.  The compiled engine
+#: (repro.runtime.compile) binds these functions into closures at compile
+#: time; the AST engine reaches them through :func:`binary_op`.
+BINARY_OPS = {
+    "&&": _op_and,
+    "||": _op_or,
+    "==": _op_eq,
+    "!=": _op_ne,
+    "<": _op_lt,
+    "<=": _op_le,
+    ">": _op_gt,
+    ">=": _op_ge,
+    "+": _op_add,
+    "-": _op_sub,
+    "*": _op_mul,
+    "/": _op_div,
+    "%": _op_rem,
+}
+
+
 def binary_op(op, left, right):
     """Evaluate a binary operator on runtime values."""
-    if op == "&&":
-        return bool(left) and bool(right)
-    if op == "||":
-        return bool(left) or bool(right)
-    if op == "==":
-        return left == right
-    if op == "!=":
-        return left != right
-    if op in ("<", "<=", ">", ">="):
-        a = _numeric(left, op)
-        b = _numeric(right, op)
-        if op == "<":
-            return a < b
-        if op == "<=":
-            return a <= b
-        if op == ">":
-            return a > b
-        return a >= b
-    a = _numeric(left, op)
-    b = _numeric(right, op)
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "/":
-        if _is_int(a) and _is_int(b):
-            return java_int_div(a, b)
-        if b == 0:
-            raise RuntimeErr("float division by zero")
-        return a / b
-    if op == "%":
-        if _is_int(a) and _is_int(b):
-            return java_int_rem(a, b)
-        raise RuntimeErr("'%%' needs ints, got %r and %r" % (a, b))
+    fn = BINARY_OPS.get(op)
+    if fn is not None:
+        return fn(left, right)
+    # Unknown operator: the historical error order checks the operands
+    # before rejecting the operator itself.
+    _numeric(left, op)
+    _numeric(right, op)
     raise RuntimeErr("unknown operator %r" % op)
 
 
+def _op_neg(value):
+    return -_numeric(value, "-")
+
+
+def _op_not(value):
+    if not isinstance(value, bool):
+        raise RuntimeErr("'!' needs a bool, got %r" % (value,))
+    return not value
+
+
+UNARY_OPS = {"-": _op_neg, "!": _op_not}
+
+
 def unary_op(op, value):
-    if op == "-":
-        return -_numeric(value, op)
-    if op == "!":
-        if not isinstance(value, bool):
-            raise RuntimeErr("'!' needs a bool, got %r" % (value,))
-        return not value
-    raise RuntimeErr("unknown unary operator %r" % op)
+    fn = UNARY_OPS.get(op)
+    if fn is None:
+        raise RuntimeErr("unknown unary operator %r" % op)
+    return fn(value)
 
 
 def call_builtin(name, args):

@@ -1,0 +1,81 @@
+"""Guard the committed interpreter-throughput results (BENCH_interp.json).
+
+The compiled engine exists to be faster; this check fails the build if the
+committed numbers ever say otherwise.  Two thresholds:
+
+* every workload must show ``speedup >= --min-speedup`` (default 1.0 — the
+  compiled engine is never allowed to be slower than the AST walker), and
+* the tight-loop stress program must hold ``--tight-speedup`` (default 2.0,
+  the target from the engine work; see docs/ENGINE.md).
+
+Regenerate the file with::
+
+    PYTHONPATH=src python benchmarks/bench_interpreter_speed.py \
+        --output BENCH_interp.json
+
+Usage::
+
+    python tools/check_bench.py [BENCH_interp.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+
+
+def check(path, min_speedup=1.0, tight_speedup=2.0):
+    """Return a list of problem strings (empty means the file is healthy)."""
+    problems = []
+    try:
+        report = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+
+    workloads = report.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        return ["%s: no workloads recorded" % path]
+    if "tight_loop" not in workloads:
+        problems.append("missing the tight_loop stress entry")
+
+    for name, row in sorted(workloads.items()):
+        for field in ("ast_stmts_per_s", "compiled_stmts_per_s", "speedup"):
+            if not isinstance(row.get(field), (int, float)):
+                problems.append("%s: missing field %r" % (name, field))
+                break
+        else:
+            if row["speedup"] < min_speedup:
+                problems.append(
+                    "%s: compiled engine slower than allowed "
+                    "(%.2fx < %.2fx)" % (name, row["speedup"], min_speedup))
+    tight = workloads.get("tight_loop")
+    if tight and isinstance(tight.get("speedup"), (int, float)):
+        if tight["speedup"] < tight_speedup:
+            problems.append(
+                "tight_loop: %.2fx below the %.2fx target"
+                % (tight["speedup"], tight_speedup))
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="check_bench")
+    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH))
+    parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument("--tight-speedup", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    problems = check(args.path, args.min_speedup, args.tight_speedup)
+    if problems:
+        for problem in problems:
+            print("BENCH: %s" % problem)
+        return 1
+    report = json.loads(pathlib.Path(args.path).read_text())
+    for name, row in sorted(report["workloads"].items()):
+        print("BENCH ok: %-12s %.2fx" % (name, row["speedup"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
