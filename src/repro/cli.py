@@ -17,11 +17,18 @@ selection (call-graph cut + max-complexity variable).
 ``run``, ``run-split`` and ``serve`` accept ``--metrics PATH``: telemetry
 (:mod:`repro.obs`) is enabled for the whole command and the registry is
 dumped to ``PATH`` as JSON at exit.  ``stats`` prints the same snapshot to
-stdout in JSON or Prometheus text format (see docs/OBSERVABILITY.md).
+stdout in JSON or Prometheus text format.  ``--log-events PATH`` records
+the per-event boundary stream (the flight recorder), ``--expo-port N``
+serves live ``/metrics`` over HTTP for the duration, and ``audit`` joins
+the recorded per-ILP traffic to the Section 3 complexity estimates (see
+docs/OBSERVABILITY.md).  ``serve`` and ``run-split`` flush ``--metrics``/
+``--log-events`` output on SIGINT/SIGTERM instead of dropping it.
 """
 
 import argparse
 import contextlib
+import json
+import signal
 import sys
 
 from repro.analysis.selfcontained import analyze_self_contained
@@ -63,6 +70,12 @@ def _parse_args_list(values):
     return tuple(out)
 
 
+def _corpus_names():
+    from repro.workloads.corpora import SPECS
+
+    return sorted(SPECS)
+
+
 def _split_for(program, checker, args):
     if args.function and args.var:
         return split_program(program, checker, [(args.function, args.var)])
@@ -70,24 +83,74 @@ def _split_for(program, checker, args):
 
 
 @contextlib.contextmanager
-def _metrics_sink(path):
-    """Enable telemetry for the wrapped command and dump the registry (plus
-    tracer span summary) to ``path`` as JSON at exit; no-op without a path."""
-    if not path:
+def _telemetry_session(args, out=None):
+    """Enable telemetry for the wrapped command when any telemetry flag is
+    present (``--metrics``, ``--log-events``, ``--expo-port``); no-op
+    otherwise so un-flagged runs stay bit-identical.
+
+    While active, the live exposition endpoint (``--expo-port``) serves the
+    registry over HTTP.  At exit — including a SIGINT/SIGTERM delivered as
+    :class:`KeyboardInterrupt` — the registry is dumped to ``--metrics`` as
+    JSON and the flight recorder stream to ``--log-events``."""
+    metrics_path = getattr(args, "metrics", None)
+    events_path = getattr(args, "log_events", None)
+    expo_port = getattr(args, "expo_port", None)
+    if metrics_path is None and events_path is None and expo_port is None:
         yield
         return
     from repro import obs
     from repro.obs import export
+    from repro.obs.events import FlightRecorder, write_events
 
-    with obs.telemetry() as (registry, tracer):
+    recorder = FlightRecorder() if events_path else None
+    with obs.telemetry(recorder=recorder) as (registry, tracer):
+        expo = None
         try:
+            if expo_port is not None:
+                from repro.obs.httpexpo import ExpositionServer
+
+                expo = ExpositionServer(registry, tracer, port=expo_port)
+                host, port = expo.start()
+                if out is not None:
+                    print(
+                        "metrics exposition on http://%s:%d/metrics" % (host, port),
+                        file=out,
+                    )
             yield
         finally:
-            export.write_json(path, registry, tracer)
+            if expo is not None:
+                expo.stop()
+            if metrics_path:
+                export.write_json(metrics_path, registry, tracer)
+            if events_path:
+                write_events(
+                    events_path, recorder,
+                    format=getattr(args, "log_events_format", "jsonl"),
+                )
+
+
+@contextlib.contextmanager
+def _terminate_as_interrupt():
+    """Deliver SIGTERM as :class:`KeyboardInterrupt` for the wrapped command
+    so a plain ``kill`` drains the same finally blocks as Ctrl-C — telemetry
+    sinks flush instead of dropping.  No-op outside the main thread."""
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # not the main thread (tests drive main() directly)
+        previous = None
+    try:
+        yield
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 def cmd_run(args, out):
-    with _metrics_sink(args.metrics):
+    with _telemetry_session(args, out):
         program, _ = _load(args.file)
         result = run_original(program, entry=args.entry,
                               args=_parse_args_list(args.args),
@@ -130,47 +193,52 @@ def cmd_split(args, out):
 
 
 def cmd_run_split(args, out):
-    with _metrics_sink(args.metrics):
-        program, checker = _load(args.file)
-        sp = _split_for(program, checker, args)
-        run_args = _parse_args_list(args.args)
-        batching = getattr(args, "batching", "off") == "on"
-        engine = getattr(args, "engine", DEFAULT_ENGINE)
-        if args.remote:
-            from repro.runtime.remote import run_split_remote
+    try:
+        with _terminate_as_interrupt(), _telemetry_session(args, out):
+            program, checker = _load(args.file)
+            sp = _split_for(program, checker, args)
+            run_args = _parse_args_list(args.args)
+            batching = getattr(args, "batching", "off") == "on"
+            engine = getattr(args, "engine", DEFAULT_ENGINE)
+            if args.remote:
+                from repro.runtime.remote import run_split_remote
 
-            host, _, port = args.remote.rpartition(":")
-            result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
-                                      entry=args.entry, args=run_args,
-                                      batching=batching, engine=engine)
+                host, _, port = args.remote.rpartition(":")
+                result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
+                                          entry=args.entry, args=run_args,
+                                          batching=batching, engine=engine)
+                for line in result.output:
+                    print(line, file=out)
+                print(
+                    "[ran against remote hidden component; %d real round trips]"
+                    % result.interactions,
+                    file=out,
+                )
+                return 0
+            check_equivalence(program, sp, entry=args.entry, args=run_args,
+                              engine=engine)
+            latency = _LATENCIES[args.latency]()
+            result = run_split(sp, entry=args.entry, args=run_args,
+                               latency=latency, batching=batching,
+                               engine=engine)
             for line in result.output:
                 print(line, file=out)
+            summary = result.channel.transcript.summary()
             print(
-                "[ran against remote hidden component; %d real round trips]"
-                % result.interactions,
+                "[split verified equivalent; %d interactions, %.2f ms channel "
+                "time, %d open + %d hidden statements]"
+                % (
+                    summary["round_trips"],
+                    summary["simulated_ms"],
+                    result.steps_open,
+                    result.steps_hidden,
+                ),
                 file=out,
             )
             return 0
-        check_equivalence(program, sp, entry=args.entry, args=run_args,
-                          engine=engine)
-        latency = _LATENCIES[args.latency]()
-        result = run_split(sp, entry=args.entry, args=run_args, latency=latency,
-                           batching=batching, engine=engine)
-    for line in result.output:
-        print(line, file=out)
-    summary = result.channel.transcript.summary()
-    print(
-        "[split verified equivalent; %d interactions, %.2f ms channel time, "
-        "%d open + %d hidden statements]"
-        % (
-            summary["round_trips"],
-            summary["simulated_ms"],
-            result.steps_open,
-            result.steps_hidden,
-        ),
-        file=out,
-    )
-    return 0
+    except KeyboardInterrupt:
+        print("[interrupted; telemetry flushed]", file=out)
+        return 130
 
 
 def cmd_analyze(args, out):
@@ -224,7 +292,7 @@ def cmd_serve(args, out):
     from repro.core.deploy import import_split
     from repro.runtime.remote import HiddenComponentServer
 
-    with _metrics_sink(args.metrics):
+    with _terminate_as_interrupt(), _telemetry_session(args, out):
         with open(args.manifest) as f:
             deployed = import_split(f.read())
         server = HiddenComponentServer(
@@ -250,9 +318,14 @@ def cmd_stats(args, out):
     from repro import obs
     from repro.obs import export
 
+    recorder = None
+    if getattr(args, "log_events", None):
+        from repro.obs.events import FlightRecorder
+
+        recorder = FlightRecorder()
     program, checker = _load(args.file)
     run_args = _parse_args_list(args.args)
-    with obs.telemetry() as (registry, tracer):
+    with obs.telemetry(recorder=recorder) as (registry, tracer):
         sp = _split_for(program, checker, args)
         if sp.splits:
             latency = _LATENCIES[args.latency]()
@@ -262,10 +335,53 @@ def cmd_stats(args, out):
         else:
             run_original(program, entry=args.entry, args=run_args,
                          engine=getattr(args, "engine", DEFAULT_ENGINE))
+    if recorder is not None:
+        from repro.obs.events import write_events
+
+        write_events(args.log_events, recorder,
+                     format=getattr(args, "log_events_format", "jsonl"))
     if args.format == "prometheus":
         print(export.to_prometheus(registry), file=out, end="")
     else:
         print(export.to_json(registry, tracer), file=out)
+    return 0
+
+
+def cmd_audit(args, out):
+    """Run under full telemetry, then join observed per-ILP channel traffic
+    to the Section 3 complexity estimates and check leak budgets."""
+    from repro import obs
+    from repro.obs.audit import audit_split, render_report
+    from repro.obs.events import FlightRecorder
+
+    if bool(args.corpus) == bool(args.file):
+        print("error: audit needs a source file or --corpus (not both)", file=out)
+        return 2
+    if args.corpus:
+        from repro.workloads.corpora import build_corpus
+
+        corpus = build_corpus(args.corpus, scale=args.scale)
+        program, checker = corpus.program, corpus.checker
+    else:
+        program, checker = _load(args.file)
+    run_args = _parse_args_list(args.args)
+    recorder = FlightRecorder()
+    with obs.telemetry(recorder=recorder) as (registry, _tracer):
+        sp = _split_for(program, checker, args)
+        if not sp.splits:
+            print("nothing was split (no eligible function/variable)", file=out)
+            return 1
+        latency = _LATENCIES[args.latency]()
+        run_split(sp, entry=args.entry, args=run_args, latency=latency,
+                  batching=getattr(args, "batching", "off") == "on",
+                  engine=getattr(args, "engine", DEFAULT_ENGINE))
+    report = audit_split(sp, checker, registry, recorder, budget=args.budget)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(render_report(report), file=out)
+    if args.fail_over_budget and report.over_budget():
+        return 1
     return 0
 
 
@@ -377,6 +493,28 @@ def build_parser():
             help="enable telemetry and dump the metrics registry (JSON) here at exit",
         )
 
+    def events_flags(p):
+        from repro.obs.events import EVENT_FORMATS
+
+        p.add_argument(
+            "--log-events", metavar="PATH", dest="log_events",
+            help="enable the flight recorder and write the boundary event "
+            "stream here at exit (docs/OBSERVABILITY.md)",
+        )
+        p.add_argument(
+            "--log-events-format", choices=list(EVENT_FORMATS),
+            default="jsonl", dest="log_events_format",
+            help="event stream format: 'jsonl' (one JSON object per line) "
+            "or 'chrome' (about://tracing trace-event file)",
+        )
+
+    def expo_flag(p):
+        p.add_argument(
+            "--expo-port", type=int, metavar="PORT", dest="expo_port",
+            help="serve live /metrics, /metrics.json, /healthz and /spans "
+            "over HTTP on this port for the duration (0 picks a free port)",
+        )
+
     def batching_flag(p):
         p.add_argument(
             "--batching", choices=["on", "off"], default="off",
@@ -398,6 +536,7 @@ def build_parser():
     p.add_argument("--args", nargs="*", default=[], help="entry arguments")
     engine_flag(p)
     metrics_flag(p)
+    events_flags(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("split", help="split and show both components")
@@ -413,6 +552,8 @@ def build_parser():
     batching_flag(p)
     engine_flag(p)
     metrics_flag(p)
+    events_flags(p)
+    expo_flag(p)
     p.set_defaults(fn=cmd_run_split)
 
     p = sub.add_parser("analyze", help="Section 3 security characterisation")
@@ -431,6 +572,8 @@ def build_parser():
     p.add_argument("--port", type=int, default=0)
     engine_flag(p)
     metrics_flag(p)
+    events_flags(p)
+    expo_flag(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -445,7 +588,41 @@ def build_parser():
         "--format", choices=["json", "prometheus"], default="json",
         help="exposition format (default: json)",
     )
+    events_flags(p)
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "audit",
+        help="run under telemetry and audit per-ILP leak budgets "
+        "(docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("file", nargs="?", help="MiniJava source file (or use --corpus)")
+    p.add_argument("--corpus", choices=_corpus_names(),
+                   help="audit a generated Table 5 evaluation corpus instead "
+                   "of a source file")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="corpus population scale (with --corpus)")
+    p.add_argument("--entry", default="main", help="entry function")
+    p.add_argument("--function", help="function to split (with --var)")
+    p.add_argument("--var", help="hidden variable (with --function)")
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
+    batching_flag(p)
+    engine_flag(p)
+    p.add_argument(
+        "--budget", type=int,
+        help="uniform leak budget (observed values per ILP); default: "
+        "per-complexity-class budgets",
+    )
+    p.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="report format (default: table)",
+    )
+    p.add_argument(
+        "--fail-over-budget", action="store_true", dest="fail_over_budget",
+        help="exit 1 when any ILP exceeds its budget",
+    )
+    p.set_defaults(fn=cmd_audit)
 
     p = sub.add_parser("graph", help="emit DOT graphs (cfg/ddg/callgraph/split)")
     common(p)

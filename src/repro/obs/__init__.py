@@ -34,10 +34,16 @@ from repro.obs.metrics import (  # noqa: F401 (re-exported)
     NullRegistry,
     Registry,
 )
+from repro.obs.events import (  # noqa: F401 (re-exported)
+    NULL_RECORDER,
+    FlightRecorder,
+    NullRecorder,
+)
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer  # noqa: F401
 
 _registry = NULL_REGISTRY
 _tracer = NULL_TRACER
+_recorder = NULL_RECORDER
 
 
 def get_registry():
@@ -50,37 +56,56 @@ def get_tracer():
     return _tracer
 
 
+def get_recorder():
+    """The active flight recorder (the null recorder when disabled).
+
+    Unlike the registry/tracer pair, recording is opt-in *per session*:
+    :func:`install`/:func:`telemetry` leave it disabled unless an explicit
+    :class:`~repro.obs.events.FlightRecorder` is passed (``--log-events``
+    on the CLI)."""
+    return _recorder
+
+
 def enabled():
     return _registry.enabled
 
 
-def install(registry=None, tracer=None):
+def install(registry=None, tracer=None, recorder=None):
     """Make telemetry active process-wide; returns ``(registry, tracer)``.
 
+    ``recorder`` optionally activates the flight recorder
+    (:mod:`repro.obs.events`) for the same scope; when omitted the null
+    recorder is installed, so event recording never leaks across sessions.
     Prefer the :func:`telemetry` context manager, which restores the
     previous state.
     """
-    global _registry, _tracer
+    global _registry, _tracer, _recorder
     _registry = registry if registry is not None else Registry()
-    _tracer = tracer if tracer is not None else Tracer(registry=_registry)
+    _recorder = recorder if recorder is not None else NULL_RECORDER
+    _tracer = tracer if tracer is not None else Tracer(
+        registry=_registry,
+        recorder=_recorder if _recorder.enabled else None,
+    )
     return _registry, _tracer
 
 
 def uninstall():
     """Disable telemetry (back to the null implementations)."""
-    global _registry, _tracer
+    global _registry, _tracer, _recorder
     _registry = NULL_REGISTRY
     _tracer = NULL_TRACER
+    _recorder = NULL_RECORDER
 
 
 @contextlib.contextmanager
-def telemetry(registry=None, tracer=None):
+def telemetry(registry=None, tracer=None, recorder=None):
     """Scoped telemetry: installs a (fresh by default) registry/tracer pair
-    and restores whatever was active before, even on error."""
-    global _registry, _tracer
-    previous = (_registry, _tracer)
-    pair = install(registry, tracer)
+    (plus an optional flight recorder) and restores whatever was active
+    before, even on error."""
+    global _registry, _tracer, _recorder
+    previous = (_registry, _tracer, _recorder)
+    pair = install(registry, tracer, recorder)
     try:
         yield pair
     finally:
-        _registry, _tracer = previous
+        _registry, _tracer, _recorder = previous

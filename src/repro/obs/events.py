@@ -1,0 +1,201 @@
+"""The flight recorder: a bounded, structured stream of boundary events.
+
+Where the metrics registry *aggregates* (counters and histograms keyed by
+name and labels), the flight recorder keeps the *per-event* record: every
+channel crossing (``call``/``open``/``close``/``cb_fetch``/``cb_store``/
+``cb_batch``/``batch``) with its fragment identity, value count, modelled
+payload size and simulated cost; every hidden fragment execution with its
+step count; and every phase span open/close.  That record is what the
+Section 3 security argument is *about* — the adversary's observation
+stream — so keeping it auditable against the static ``<Type, Inputs,
+Degree>`` estimates is the point (see :mod:`repro.obs.audit`).
+
+The buffer is bounded (a deque of ``max_events``); when it fills, the
+oldest events are evicted and counted in :attr:`FlightRecorder.evicted` so
+long-running ``serve`` processes stay memory-safe.  Sequence numbers keep
+increasing across evictions, so consumers can detect the gap.
+
+Two output formats (``repro ... --log-events PATH --log-events-format``):
+
+* **jsonl** — one JSON object per line, schema below; the golden format
+  asserted by ``tests/test_obs_events.py`` (treat the key sets as stable).
+* **chrome** — the Chrome trace-event format (a ``traceEvents`` array of
+  ``B``/``E`` duration events for spans and ``i`` instant events for
+  channel crossings), loadable in ``about://tracing`` / Perfetto.
+
+Event schema (``type`` field):
+
+=============  =====================================================
+``channel``    ``kind, fn, label, values, bytes, sim_ms``
+``fragment``   ``fn, label, steps`` (one hidden fragment execution)
+``span_open``  ``name, depth``
+``span_close`` ``name, depth, wall_s, sim_ms``
+=============  =====================================================
+
+All events also carry ``seq`` (monotonic, 1-based) and ``ts_us``
+(microseconds since the recorder was created, ``time.perf_counter``
+based).
+"""
+
+import collections
+import json
+import time
+
+#: accepted values for ``--log-events-format``
+EVENT_FORMATS = ("jsonl", "chrome")
+
+#: default bound on retained events (~a few tens of MB of dicts at worst)
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class FlightRecorder:
+    """Bounded in-memory event stream; see the module docstring."""
+
+    enabled = True
+
+    def __init__(self, max_events=DEFAULT_MAX_EVENTS, clock=time.perf_counter):
+        self.max_events = max_events
+        self.events = collections.deque(maxlen=max_events)
+        self.evicted = 0
+        self.seq = 0
+        self._clock = clock
+        self._t0 = clock()
+
+    def record(self, etype, **fields):
+        """Append one event; evicts the oldest when the buffer is full."""
+        self.seq += 1
+        event = {
+            "seq": self.seq,
+            "ts_us": round((self._clock() - self._t0) * 1e6, 1),
+            "type": etype,
+        }
+        event.update(fields)
+        if self.events.maxlen is not None and len(self.events) == self.events.maxlen:
+            self.evicted += 1
+        self.events.append(event)
+        return event
+
+    # -- typed entry points (the instrumented layers call these) -----------
+
+    def channel(self, kind, fn, label, values, payload_bytes, sim_ms):
+        """One channel round trip — the adversary-observable unit."""
+        return self.record(
+            "channel", kind=kind, fn=fn, label=label, values=values,
+            bytes=payload_bytes, sim_ms=sim_ms,
+        )
+
+    def fragment(self, fn, label, steps):
+        """One hidden fragment execution with its statement count."""
+        return self.record("fragment", fn=fn, label=label, steps=steps)
+
+    def span_open(self, name, depth):
+        return self.record("span_open", name=name, depth=depth)
+
+    def span_close(self, name, depth, wall_s, sim_ms):
+        return self.record(
+            "span_close", name=name, depth=depth, wall_s=wall_s, sim_ms=sim_ms
+        )
+
+    # -- reading ------------------------------------------------------------
+
+    def by_type(self, etype):
+        return [e for e in self.events if e["type"] == etype]
+
+    def __len__(self):
+        return len(self.events)
+
+
+class NullRecorder:
+    """Disabled flight recorder: no allocation, no recording."""
+
+    enabled = False
+    events = ()
+    evicted = 0
+    seq = 0
+
+    def record(self, etype, **fields):
+        return None
+
+    def channel(self, kind, fn, label, values, payload_bytes, sim_ms):
+        return None
+
+    def fragment(self, fn, label, steps):
+        return None
+
+    def span_open(self, name, depth):
+        return None
+
+    def span_close(self, name, depth, wall_s, sim_ms):
+        return None
+
+    def by_type(self, etype):
+        return []
+
+    def __len__(self):
+        return 0
+
+
+NULL_RECORDER = NullRecorder()
+
+
+# -- serialisation -----------------------------------------------------------
+
+
+def to_jsonl(recorder):
+    """One JSON object per line, in recording order (stable key order)."""
+    return "".join(
+        json.dumps(event, sort_keys=True) + "\n" for event in recorder.events
+    )
+
+
+def to_chrome(recorder):
+    """The Chrome trace-event document for ``about://tracing``.
+
+    Spans become ``B``/``E`` duration events (evicted opens may leave an
+    unbalanced ``E`` at the front; the viewers tolerate that), channel and
+    fragment events become thread-scoped instants carrying their fields as
+    ``args``.
+    """
+    trace = []
+    for event in recorder.events:
+        etype = event["type"]
+        if etype == "span_open":
+            trace.append({
+                "ph": "B", "name": event["name"], "cat": "phase",
+                "ts": event["ts_us"], "pid": 1, "tid": 1,
+            })
+        elif etype == "span_close":
+            trace.append({
+                "ph": "E", "name": event["name"], "cat": "phase",
+                "ts": event["ts_us"], "pid": 1, "tid": 1,
+                "args": {"sim_ms": event["sim_ms"], "wall_s": event["wall_s"]},
+            })
+        else:
+            name = (
+                "channel." + event["kind"] if etype == "channel"
+                else "fragment"
+            )
+            args = {
+                k: v for k, v in event.items()
+                if k not in ("seq", "ts_us", "type")
+            }
+            trace.append({
+                "ph": "i", "s": "t", "name": name, "cat": etype,
+                "ts": event["ts_us"], "pid": 1, "tid": 1, "args": args,
+            })
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_events(path, recorder, format="jsonl"):
+    """Write the recorder's buffer to ``path`` in the chosen format."""
+    if format not in EVENT_FORMATS:
+        raise ValueError(
+            "unknown event format %r (expected one of %s)"
+            % (format, ", ".join(EVENT_FORMATS))
+        )
+    with open(path, "w") as f:
+        if format == "jsonl":
+            f.write(to_jsonl(recorder))
+        else:
+            json.dump(to_chrome(recorder), f, sort_keys=True)
+            f.write("\n")

@@ -97,6 +97,14 @@ def to_dict(registry, tracer=None):
                 {"le": "+Inf" if bound == float("inf") else bound, "count": n}
                 for bound, n in metric.cumulative()
             ]
+            # estimated quantiles (bucket interpolation) — JSON only; the
+            # Prometheus text exposition stays byte-identical, collectors
+            # compute their own histogram_quantile() there
+            sample["quantiles"] = {
+                "p50": metric.quantile(0.50),
+                "p95": metric.quantile(0.95),
+                "p99": metric.quantile(0.99),
+            }
         else:
             sample["value"] = metric.value
         samples.append(sample)

@@ -1,0 +1,101 @@
+"""Live exposition endpoint: scrape the active registry over HTTP.
+
+A long-running ``repro serve`` (or a long ``run-split --remote``) was
+previously observable only at exit, when ``--metrics`` dumped the registry.
+This module puts a tiny stdlib ``http.server`` in a daemon thread so the
+live process can be scraped like any other service (``--expo-port N``):
+
+============== =============================================== ==========
+``/metrics``      Prometheus text exposition of the registry    text/plain
+``/metrics.json`` JSON snapshot (same document as ``--metrics``) application/json
+``/healthz``      liveness probe, always ``ok``                 text/plain
+``/spans``        the tracer's per-phase summary                application/json
+============== =============================================== ==========
+
+Everything is read-only and computed per request from the live
+registry/tracer, so a scrape during a run sees the counters mid-flight —
+the same exposition ``repro stats`` prints, just continuously available.
+"""
+
+import http.server
+import json
+import threading
+
+from repro.obs import export
+
+#: the Prometheus text exposition content type
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+CONTENT_TYPE_TEXT = "text/plain; charset=utf-8"
+
+#: served routes (documented in docs/OBSERVABILITY.md; the docs checker
+#: validates the doc's endpoint names against this table)
+ROUTES = ("/metrics", "/metrics.json", "/healthz", "/spans")
+
+
+class ExpositionServer:
+    """Serves the active registry/tracer on ``host:port`` (port 0 picks an
+    ephemeral port; read :attr:`address` for the bound one)."""
+
+    def __init__(self, registry, tracer=None, host="127.0.0.1", port=0):
+        self.registry = registry
+        self.tracer = tracer
+        expo = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                expo._handle(self)
+
+            def log_message(self, format, *args):
+                pass  # scrapes must not spam the serving process's stderr
+
+        self._httpd = http.server.ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.address = self._httpd.server_address[:2]
+        self._thread = None
+
+    def start(self):
+        """Serve in a daemon thread; returns the bound ``(host, port)``."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    # -- request handling ---------------------------------------------------
+
+    def _handle(self, request):
+        path = request.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = export.to_prometheus(self.registry)
+            self._reply(request, 200, CONTENT_TYPE_PROMETHEUS, body)
+        elif path == "/metrics.json":
+            body = export.to_json(self.registry, self.tracer) + "\n"
+            self._reply(request, 200, CONTENT_TYPE_JSON, body)
+        elif path == "/healthz":
+            self._reply(request, 200, CONTENT_TYPE_TEXT, "ok\n")
+        elif path == "/spans":
+            summary = self.tracer.summary() if self.tracer is not None else {}
+            body = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            self._reply(request, 200, CONTENT_TYPE_JSON, body)
+        else:
+            self._reply(
+                request, 404, CONTENT_TYPE_TEXT,
+                "not found; routes: %s\n" % ", ".join(ROUTES),
+            )
+
+    @staticmethod
+    def _reply(request, status, content_type, body):
+        payload = body.encode("utf-8")
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        request.wfile.write(payload)

@@ -107,6 +107,30 @@ class Histogram:
     def mean(self):
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Estimated ``q``-quantile (0..1) from the cumulative buckets.
+
+        Linear interpolation within the bucket the target rank falls in,
+        Prometheus ``histogram_quantile`` style: the first bucket's lower
+        edge is 0, and ranks landing in the implicit ``+Inf`` bucket clamp
+        to the highest finite bound (the estimate cannot exceed what the
+        buckets resolve).  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        lower = 0.0
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            if running + n >= target and n > 0:
+                fraction = (target - running) / n
+                return lower + (bound - lower) * fraction
+            running += n
+            lower = float(bound)
+        return float(self.buckets[-1]) if self.buckets else 0.0
+
 
 class _NullMetric:
     """Shared do-nothing stand-in for every metric kind."""
@@ -127,6 +151,9 @@ class _NullMetric:
 
     def observe(self, value):
         pass
+
+    def quantile(self, q):
+        return 0.0
 
 
 NULL_METRIC = _NullMetric()

@@ -41,6 +41,9 @@ class Span:
 
     def __enter__(self):
         self._t0 = time.perf_counter()
+        recorder = self._tracer.recorder
+        if recorder is not None:
+            recorder.span_open(self.name, self.depth)
         return self
 
     def __exit__(self, exc_type, exc, tb):
@@ -55,12 +58,19 @@ class Span:
 
 
 class Tracer:
-    """Records spans; aggregates by name; caps retained detail."""
+    """Records spans; aggregates by name; caps retained detail.
+
+    When the tracer owns a flight recorder (:mod:`repro.obs.events`),
+    every context-manager span also lands in the event stream as a
+    ``span_open``/``span_close`` pair; instantaneous :meth:`emit` spans do
+    *not* (the channel records those itself, with richer fields).
+    """
 
     enabled = True
 
-    def __init__(self, registry=None, max_spans=1000):
+    def __init__(self, registry=None, max_spans=1000, recorder=None):
         self.registry = registry
+        self.recorder = recorder
         self.max_spans = max_spans
         self.spans = []
         self.dropped = 0
@@ -104,6 +114,10 @@ class Tracer:
             self.spans.append(span)
         else:
             self.dropped += 1
+        if record_phase and self.recorder is not None:
+            self.recorder.span_close(
+                span.name, span.depth, span.wall_s, span.sim_ms
+            )
         if record_phase and self.registry is not None:
             self.registry.histogram(
                 PHASE_SECONDS,

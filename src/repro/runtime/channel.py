@@ -16,7 +16,10 @@ before any ordinary :meth:`Channel.round_trip`, or explicitly via
 When telemetry is enabled (:mod:`repro.obs`), every round trip is also
 recorded in the active registry — counters by event kind, per-ILP value
 counts, payload-size and simulated-latency histograms — and emitted as an
-instantaneous tracer span tagged with the fragment label.
+instantaneous tracer span tagged with the fragment label.  When a flight
+recorder is active (``--log-events``, :mod:`repro.obs.events`) every
+round trip additionally lands in the bounded per-event stream that
+:mod:`repro.obs.audit` joins against the static Section 3 estimates.
 """
 
 from repro import obs
@@ -179,6 +182,8 @@ class Channel:
         registry = obs.get_registry()
         self._registry = registry if registry.enabled else None
         self._tracer = obs.get_tracer() if registry.enabled else None
+        recorder = obs.get_recorder()
+        self._recorder = recorder if recorder.enabled else None
 
     def defer(self, kind, hid, fn_name, label, sent):
         """Buffer a one-way message instead of charging a round trip.
@@ -211,6 +216,11 @@ class Channel:
         self.simulated_ms += cost_ms
         if self._registry is not None:
             self._record_batch_metrics(pending, merged, cost_ms)
+        if self._recorder is not None:
+            self._recorder.channel(
+                "batch", "-", "-", len(merged),
+                _HEADER_BYTES + _VALUE_BYTES * len(merged), cost_ms,
+            )
         if self.record:
             self.transcript.append(
                 Event(self.interactions, "batch", None, "-", None, merged,
@@ -229,6 +239,12 @@ class Channel:
         self.simulated_ms += cost_ms
         if self._registry is not None:
             self._record_metrics(kind, fn_name, label, sent, result, cost_ms)
+        if self._recorder is not None:
+            carried = len(sent) + (0 if result is None else 1)
+            self._recorder.channel(
+                kind, fn_name or "-", "-" if label is None else str(label),
+                carried, _HEADER_BYTES + _VALUE_BYTES * carried, cost_ms,
+            )
         if self.record:
             self.transcript.append(
                 Event(self.interactions, kind, hid, fn_name, label, sent,

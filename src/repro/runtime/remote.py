@@ -25,6 +25,7 @@ import socket
 import threading
 import time
 
+from repro import obs
 from repro.core.hidden import FragmentKind
 from repro.core.prefetch import touches_open_aggregates
 from repro.runtime.channel import Channel, LatencyModel
@@ -36,6 +37,10 @@ from repro.runtime.values import RuntimeErr
 
 #: protocol revision announced in the server handshake (docs/PROTOCOL.md)
 PROTOCOL_VERSION = 2
+
+#: exported metric names (documented in docs/OBSERVABILITY.md)
+M_CLIENTS = "repro_remote_clients"
+M_SESSIONS = "repro_remote_sessions_total"
 
 
 class ChannelError(RuntimeErr):
@@ -171,6 +176,8 @@ class HiddenComponentServer:
         self._sock = socket.create_server((host, port))
         self.address = self._sock.getsockname()
         self._stop = threading.Event()
+        metrics = obs.get_registry()
+        self._metrics = metrics if metrics.enabled else None
 
     def serve_forever(self):
         """Accept clients until :meth:`shutdown`; one thread per client,
@@ -199,6 +206,15 @@ class HiddenComponentServer:
         inner = self._make_inner()
         rfile = conn.makefile("rb")
         wfile = conn.makefile("wb")
+        if self._metrics is not None:
+            # live scrape support (--expo-port): how many client sessions
+            # are connected right now, and how many there have been
+            self._metrics.gauge(
+                M_CLIENTS, help="currently connected client sessions"
+            ).inc()
+            self._metrics.counter(
+                M_SESSIONS, help="client sessions accepted since start"
+            ).inc()
         # handshake: protocol revision, which classes are split (so the
         # client only reports relevant instance creations), and which calls
         # are one-way (so a batching client knows what it may coalesce)
@@ -230,6 +246,10 @@ class HiddenComponentServer:
                     return
                 _send(wfile, {"result": result})
         finally:
+            if self._metrics is not None:
+                self._metrics.gauge(
+                    M_CLIENTS, help="currently connected client sessions"
+                ).dec()
             with contextlib.suppress(OSError):
                 conn.close()
 

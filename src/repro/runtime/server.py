@@ -108,6 +108,8 @@ class HiddenServer:
         count_engine("hidden", self.engine)
         registry = obs.get_registry()
         self._registry = registry if registry.enabled else None
+        recorder = obs.get_recorder()
+        self._recorder = recorder if recorder.enabled else None
 
     # -- activation management -------------------------------------------------
 
@@ -259,6 +261,10 @@ class HiddenServer:
             if registry is not None:
                 self._flush_call_metrics(
                     fn_name, label, stmt_counts, self.steps - steps_before
+                )
+            if self._recorder is not None:
+                self._recorder.fragment(
+                    fn_name, str(label), self.steps - steps_before
                 )
         if self.batching and self._is_deferrable(fragment):
             self.channel.defer("call", hid, fn_name, label, values)

@@ -97,9 +97,14 @@ def run_split(split_program, entry="main", args=(), latency=None, record=True,
         )
         interp = Interpreter(split_program.program, hidden_runtime=server,
                              max_steps=max_steps, engine=engine)
-        value = interp.run(entry, args)
-        # anything still coalescing at program exit goes out as a final batch
-        channel.flush_deferred()
+        try:
+            value = interp.run(entry, args)
+        finally:
+            # anything still coalescing goes out as a final batch — also on
+            # an aborted run (step limit, runtime error, SIGINT), so the
+            # transcript, metrics, and flight recorder stay consistent with
+            # what actually crossed the channel
+            channel.flush_deferred()
     registry = obs.get_registry()
     if registry.enabled:
         registry.counter(M_RUNS, help="program executions", mode="split").inc()

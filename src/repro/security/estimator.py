@@ -51,12 +51,25 @@ _MAX_ROUNDS = 100
 
 class ILPComplexity:
     """Result record: one ILP with its arithmetic (and, once
-    :mod:`repro.security.controlflow` has run, control-flow) complexity."""
+    :mod:`repro.security.controlflow` has run, control-flow) complexity.
 
-    def __init__(self, ilp, ac, cc=None):
+    ``fn_name`` is the qualified name of the split function; together with
+    the fragment label it forms :attr:`key`, the stable identity that the
+    runtime telemetry uses too."""
+
+    def __init__(self, ilp, ac, cc=None, fn_name=None):
         self.ilp = ilp
         self.ac = ac
         self.cc = cc
+        self.fn_name = fn_name
+
+    @property
+    def key(self):
+        """``(fn, label)`` — matches the ``fn``/``label`` label pair on
+        ``repro_channel_values_total`` and ``repro_server_calls_total``,
+        so runtime observations join to this static estimate
+        (:mod:`repro.obs.audit`)."""
+        return (self.fn_name or "-", str(self.ilp.label))
 
     def __repr__(self):
         return "<ILPComplexity %r AC=%r CC=%r>" % (self.ilp, self.ac, self.cc)
@@ -69,7 +82,11 @@ def estimate_split_complexities(split, analysis):
     of the *original* function.
     """
     estimator = Estimator(split, analysis)
-    return [ILPComplexity(ilp, estimator.ilp_ac(ilp)) for ilp in split.ilps]
+    fn_name = split.original.qualified_name
+    return [
+        ILPComplexity(ilp, estimator.ilp_ac(ilp), fn_name=fn_name)
+        for ilp in split.ilps
+    ]
 
 
 class Estimator:

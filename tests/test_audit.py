@@ -1,0 +1,217 @@
+"""The ILP leak-budget auditor: the static/dynamic join, budget semantics,
+and the ``repro audit`` CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.obs.audit import (
+    DEFAULT_BUDGETS,
+    VERDICT_OK,
+    VERDICT_OVER,
+    VERDICT_UNBOUNDED,
+    audit_split,
+    render_report,
+    resolve_budget,
+)
+from repro.obs.events import FlightRecorder
+from repro.security.lattice import AC, CType
+
+from repro.lang import check_program, parse_program
+from repro.core.program import split_program
+from repro.runtime.channel import LatencyModel
+from repro.runtime.splitrun import run_split
+
+SOURCE = """
+func int f(int x, int y, int[] B) {
+    int a = 3 * x + y;
+    int q = a * a;
+    B[0] = a + 1;
+    B[1] = q;
+    return q;
+}
+func void main(int x, int y) {
+    int[] B = new int[4];
+    print(f(x, y, B));
+    print(B[0]);
+}
+"""
+
+
+def _audited_run(runs=1, **audit_kw):
+    program = parse_program(SOURCE)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")])
+    recorder = FlightRecorder()
+    with obs.telemetry(recorder=recorder) as (registry, _tracer):
+        for i in range(runs):
+            run_split(sp, args=(i, i + 1), latency=LatencyModel.instant())
+    return audit_split(sp, checker, registry, recorder, **audit_kw)
+
+
+def _run_cli(argv):
+    out = io.StringIO()
+    code = cli_main(argv, out=out)
+    return code, out.getvalue()
+
+
+# -- budget resolution -------------------------------------------------------
+
+
+def test_default_budgets_follow_the_lattice_order():
+    bounded = [
+        DEFAULT_BUDGETS[t]
+        for t in (CType.CONSTANT, CType.LINEAR, CType.POLYNOMIAL,
+                  CType.RATIONAL)
+    ]
+    assert bounded == sorted(bounded)
+    assert DEFAULT_BUDGETS[CType.ARBITRARY] is None
+
+
+def test_resolve_budget_uniform_override_wins():
+    ac = AC(CType.ARBITRARY)
+    assert resolve_budget(ac) is None
+    assert resolve_budget(ac, budget=5) == 5
+    assert resolve_budget(AC(CType.LINEAR, {"x"}, 1)) == DEFAULT_BUDGETS[
+        CType.LINEAR
+    ]
+    assert resolve_budget(AC(CType.LINEAR, {"x"}, 1), budgets={}) is None
+
+
+# -- the join ----------------------------------------------------------------
+
+
+def test_audit_joins_observed_traffic_to_every_ilp():
+    report = _audited_run()
+    assert report.rows
+    for row in report.rows:
+        assert row.fn == "f"
+        assert row.observed_values > 0
+        assert row.observed_calls > 0
+        # the flight recorder saw the same crossings the registry counted
+        assert row.observed_events == row.observed_calls
+        assert row.verdict in (VERDICT_OK, VERDICT_OVER, VERDICT_UNBOUNDED)
+    # activation management (open/close) traffic is counted, not dropped
+    assert report.unattributed_values > 0
+
+
+def test_audit_observed_values_scale_with_runs():
+    one = {(r.fn, r.label): r.observed_values for r in _audited_run(runs=1).rows}
+    three = {
+        (r.fn, r.label): r.observed_values for r in _audited_run(runs=3).rows
+    }
+    assert set(one) == set(three)
+    for key in one:
+        assert three[key] == 3 * one[key]
+
+
+def test_uniform_zero_budget_flags_every_observed_ilp():
+    report = _audited_run(budget=0)
+    assert report.rows
+    assert [r.verdict for r in report.rows] == [VERDICT_OVER] * len(report.rows)
+    assert len(report.over_budget()) == len(report.rows)
+
+
+def test_generous_budget_flags_nothing():
+    report = _audited_run(budget=10_000)
+    assert report.over_budget() == []
+
+
+def test_report_dict_and_render_are_consistent():
+    report = _audited_run(budget=0)
+    doc = report.to_dict()
+    assert doc["over_budget"] == len(report.rows)
+    assert doc["unattributed_values"] == report.unattributed_values
+    assert len(doc["ilps"]) == len(report.rows)
+    assert {"fn", "label", "ac", "ac_type", "cc", "observed_values",
+            "observed_calls", "observed_events", "budget",
+            "verdict"} <= set(doc["ilps"][0])
+    text = render_report(report)
+    assert "ILP leak-budget audit" in text
+    assert "%d ILP(s) over budget" % len(report.rows) in text
+
+
+def test_audit_without_recorder_reports_zero_events():
+    program = parse_program(SOURCE)
+    checker = check_program(program)
+    sp = split_program(program, checker, [("f", "a")])
+    with obs.telemetry() as (registry, _tracer):
+        run_split(sp, args=(2, 3), latency=LatencyModel.instant())
+    report = audit_split(sp, checker, registry)
+    assert report.rows
+    assert all(r.observed_events == 0 for r in report.rows)
+    assert any(r.observed_values > 0 for r in report.rows)
+
+
+# -- the CLI -----------------------------------------------------------------
+
+
+@pytest.fixture
+def prog_file(tmp_path):
+    path = tmp_path / "prog.mj"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_cli_audit_file(prog_file):
+    code, out = _run_cli(
+        ["audit", prog_file, "--function", "f", "--var", "a",
+         "--args", "2", "3"]
+    )
+    assert code == 0
+    assert "ILP leak-budget audit" in out
+    assert "unattributed channel values" in out
+
+
+def test_cli_audit_json_format(prog_file):
+    code, out = _run_cli(
+        ["audit", prog_file, "--function", "f", "--var", "a",
+         "--args", "2", "3", "--format", "json"]
+    )
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["ilps"]
+    assert all(row["fn"] == "f" for row in doc["ilps"])
+
+
+def test_cli_audit_fail_over_budget_exit(prog_file):
+    code, out = _run_cli(
+        ["audit", prog_file, "--function", "f", "--var", "a",
+         "--args", "2", "3", "--budget", "0", "--fail-over-budget"]
+    )
+    assert code == 1
+    assert VERDICT_OVER in out
+    # without the flag the same over-budget report exits 0
+    code, _ = _run_cli(
+        ["audit", prog_file, "--function", "f", "--var", "a",
+         "--args", "2", "3", "--budget", "0"]
+    )
+    assert code == 0
+
+
+def test_cli_audit_corpus_table5_workload():
+    """The acceptance check: a Table 5 workload yields per-ILP rows joined
+    to complexity estimates, with at least one non-`ok` budget verdict."""
+    code, out = _run_cli(
+        ["audit", "--corpus", "javac", "--scale", "0.06",
+         "--args", "2", "10", "--format", "json"]
+    )
+    assert code == 0
+    doc = json.loads(out)
+    assert len(doc["ilps"]) > 1
+    verdicts = {row["verdict"] for row in doc["ilps"]}
+    assert verdicts - {VERDICT_OK}  # at least one unbounded or over-budget
+    assert doc["over_budget"] >= 1  # javac's Constant ILPs exceed 1 sample
+    assert all(row["observed_calls"] > 0 for row in doc["ilps"])
+
+
+def test_cli_audit_requires_file_xor_corpus(prog_file):
+    code, out = _run_cli(["audit"])
+    assert code == 2
+    assert "error:" in out
+    code, out = _run_cli(["audit", prog_file, "--corpus", "javac"])
+    assert code == 2
+    assert "error:" in out

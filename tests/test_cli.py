@@ -249,6 +249,56 @@ def test_run_metrics_flag(prog_file, tmp_path):
     assert steps and steps[0]["value"] > 0
 
 
+def test_run_split_log_events_flag(prog_file, tmp_path):
+    """Acceptance: one jsonl event per channel round trip, count equal to
+    the repro_channel_round_trips_total metric of the same run."""
+    import json
+
+    events_path = str(tmp_path / "events.jsonl")
+    metrics_path = str(tmp_path / "metrics.json")
+    code, _ = run_cli(
+        ["run-split", prog_file, "--args", "2", "3",
+         "--log-events", events_path, "--metrics", metrics_path]
+    )
+    assert code == 0
+    events = [json.loads(l) for l in open(events_path)]
+    channel = [e for e in events if e["type"] == "channel"]
+    doc = json.loads(open(metrics_path).read())
+    round_trips = sum(
+        m["value"] for m in doc["metrics"]
+        if m["name"] == "repro_channel_round_trips_total"
+    )
+    assert len(channel) == round_trips > 0
+    assert {e["type"] for e in events} >= {"channel", "fragment", "span_open",
+                                           "span_close"}
+
+
+def test_run_split_log_events_chrome_format(prog_file, tmp_path):
+    import json
+
+    path = str(tmp_path / "trace.json")
+    code, _ = run_cli(
+        ["run-split", prog_file, "--args", "2", "3",
+         "--log-events", path, "--log-events-format", "chrome"]
+    )
+    assert code == 0
+    doc = json.loads(open(path).read())
+    assert doc["traceEvents"]
+    assert {e["ph"] for e in doc["traceEvents"]} == {"B", "E", "i"}
+
+
+def test_stats_log_events_flag(prog_file, tmp_path):
+    import json
+
+    path = str(tmp_path / "events.jsonl")
+    code, _ = run_cli(
+        ["stats", prog_file, "--args", "2", "3", "--log-events", path]
+    )
+    assert code == 0
+    events = [json.loads(l) for l in open(path)]
+    assert any(e["type"] == "channel" for e in events)
+
+
 def test_lint_split_quality(tmp_path):
     path = tmp_path / "weak.mj"
     path.write_text(

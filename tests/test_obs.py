@@ -92,6 +92,42 @@ def test_histogram_buckets_and_mean():
     assert h.mean == pytest.approx(138.875)
 
 
+def test_histogram_quantile_interpolation():
+    reg = Registry()
+    h = reg.histogram("h", buckets=(10, 20, 40))
+    assert h.quantile(0.5) == 0.0  # empty histogram
+    for v in (5, 15, 15, 35):
+        h.observe(v)
+    # target rank 2.0 lands at the top of the (10, 20] bucket's first half
+    assert h.quantile(0.5) == pytest.approx(15.0)
+    assert h.quantile(0.25) == pytest.approx(10.0)
+    # anything past the last finite bucket clamps to that bound
+    h.observe(1000)
+    assert h.quantile(1.0) == pytest.approx(40.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    assert NULL_METRIC.quantile(0.5) == 0.0
+
+
+def test_json_exposition_includes_quantiles():
+    reg = Registry()
+    h = reg.histogram("h", buckets=(1, 2, 4))
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    doc = json.loads(export.to_json(reg, None))
+    sample = doc["metrics"][0]
+    assert set(sample["quantiles"]) == {"p50", "p95", "p99"}
+    assert sample["quantiles"]["p50"] == pytest.approx(h.quantile(0.5))
+    assert (
+        sample["quantiles"]["p50"]
+        <= sample["quantiles"]["p95"]
+        <= sample["quantiles"]["p99"]
+    )
+    # quantiles are a JSON-only enrichment: the Prometheus text exposition
+    # stays byte-stable (scrapers compute their own from the buckets)
+    assert "quantile" not in export.to_prometheus(reg)
+
+
 def test_null_registry_is_allocation_free():
     assert not NULL_REGISTRY.enabled
     assert NULL_REGISTRY.counter("x", kind="y") is NULL_METRIC

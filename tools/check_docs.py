@@ -9,6 +9,10 @@ Two failure modes that rot silently:
 2. **Stale metric names** — docs citing a ``repro_*`` metric that no
    ``M_* = "repro_..."`` constant in ``src/`` defines any more (the
    metric names are a stable interface; see docs/OBSERVABILITY.md).
+3. **Stale CLI surface** — docs/OBSERVABILITY.md citing an HTTP endpoint
+   the exposition server does not route (``ROUTES`` in
+   ``src/repro/obs/httpexpo.py``) or a ``--flag`` no ``add_argument``
+   in ``src/repro/cli.py`` defines.
 
 Exit status 0 when clean, 1 with a findings listing otherwise.  No
 dependencies beyond the standard library, so it runs anywhere::
@@ -32,6 +36,14 @@ _METRIC_DEF = re.compile(r'^[A-Z][A-Z0-9_]*\s*=\s*"(repro_[a-z0-9_]+)"',
 _METRIC_USE = re.compile(r"\brepro_[a-z0-9_]+\b")
 #: suffixes the prometheus exposition appends to histogram names
 _EXPO_SUFFIXES = ("_bucket", "_sum", "_count")
+#: backticked endpoint paths in docs (`/metrics`, `/healthz`, ...)
+_ENDPOINT_USE = re.compile(r"`(/[a-z][a-z.]*)`")
+#: route literals in the exposition server source
+_ROUTE_DEF = re.compile(r'"(/[a-z][a-z.]*)"')
+#: long-option mentions in docs
+_FLAG_USE = re.compile(r"(--[a-z][a-z-]+)\b")
+#: long options the CLI defines
+_FLAG_DEF = re.compile(r'add_argument\(\s*\n?\s*"(--[a-z][a-z-]+)"')
 
 
 def _rel(path):
@@ -80,17 +92,52 @@ def check_metrics(path, text, known, errors):
             )
 
 
+def defined_routes():
+    source = (REPO / "src/repro/obs/httpexpo.py").read_text(encoding="utf-8")
+    return set(_ROUTE_DEF.findall(source))
+
+
+def defined_flags():
+    source = (REPO / "src/repro/cli.py").read_text(encoding="utf-8")
+    return set(_FLAG_DEF.findall(source))
+
+
+def check_cli_surface(path, text, routes, flags, errors):
+    """The worked examples in docs/OBSERVABILITY.md name endpoints and CLI
+    flags; both must exist in the source they document."""
+    for endpoint in sorted(set(_ENDPOINT_USE.findall(text))):
+        if endpoint not in routes:
+            errors.append(
+                "%s: unknown exposition endpoint %r (not in httpexpo ROUTES)"
+                % (_rel(path), endpoint)
+            )
+    for flag in sorted(set(_FLAG_USE.findall(text))):
+        if flag not in flags:
+            errors.append(
+                "%s: unknown CLI flag %r (no add_argument defines it)"
+                % (_rel(path), flag)
+            )
+
+
 def main():
     known = defined_metrics()
     if not known:
         print("check_docs: found no M_* metric constants under src/ — "
               "the definition regex is broken", file=sys.stderr)
         return 1
+    routes = defined_routes()
+    flags = defined_flags()
+    if not routes or not flags:
+        print("check_docs: found no routes/flags in src/ — "
+              "the definition regexes are broken", file=sys.stderr)
+        return 1
     errors = []
     for path in doc_files():
         text = path.read_text(encoding="utf-8")
         check_links(path, text, errors)
         check_metrics(path, text, known, errors)
+        if path.name == "OBSERVABILITY.md":
+            check_cli_surface(path, text, routes, flags, errors)
     if errors:
         print("documentation checks failed:", file=sys.stderr)
         for error in errors:
