@@ -33,8 +33,7 @@ import sys
 
 from repro.analysis.selfcontained import analyze_self_contained
 from repro.bench.tables import Table
-from repro.core.pipeline import auto_split
-from repro.core.program import split_program
+from repro.core.pipeline import prepare_split
 from repro.lang import check_program, parse_program
 from repro.core.splitter import SplitError
 from repro.lang.errors import LangError
@@ -77,9 +76,10 @@ def _corpus_names():
 
 
 def _split_for(program, checker, args):
+    choices = None
     if args.function and args.var:
-        return split_program(program, checker, [(args.function, args.var)])
-    return auto_split(program, checker, entry=args.entry)
+        choices = [(args.function, args.var)]
+    return prepare_split(program, checker, choices=choices, entry=args.entry)
 
 
 @contextlib.contextmanager
@@ -473,6 +473,76 @@ def cmd_attack(args, out):
     return 0
 
 
+def cmd_fuzz(args, out):
+    """Differential fuzzing: generated programs through the config matrix."""
+    from repro.fuzz import campaign, oracle, selfcheck
+
+    try:
+        configs = oracle.select_configs(args.configs)
+    except ValueError as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+
+    with _telemetry_session(args, out):
+        if args.self_check:
+            report = selfcheck.run_selfcheck(seed=args.seed, configs=configs)
+            print(
+                "self-check: planted hidden-engine bug, fuzzed %d program(s)"
+                % report.programs_tried, file=out)
+            if not report.caught:
+                print("self-check FAILED: planted bug was not caught", file=out)
+                return 1
+            print("caught at seed %d:" % report.seed, file=out)
+            for d in report.divergences[:6]:
+                print("  %s" % d.describe(), file=out)
+            print(
+                "minimized repro (%d lines, clean without the bug: %s):"
+                % (report.minimized_lines, report.clean_without_bug), file=out)
+            for line in report.minimized.splitlines():
+                print("  | %s" % line, file=out)
+            print("self-check %s" % ("PASSED" if report.passed else "FAILED"),
+                  file=out)
+            return 0 if report.passed else 1
+
+        if args.replay:
+            result = campaign.replay_file(args.replay, configs=configs)
+            print("replayed %s (args: %s; split: %s)" % (
+                args.replay,
+                " / ".join(str(a) for a in result.arg_sets),
+                result.split_summary or "none"), file=out)
+            for d in result.divergences:
+                print("  DIVERGENCE %s" % d.describe(), file=out)
+            print("divergences: %d" % len(result.divergences), file=out)
+            return 1 if result.diverged else 0
+
+        def progress(res):
+            if res.programs % 25 == 0:
+                print("  ... %d programs, %d divergent, %d unsplit"
+                      % (res.programs, res.divergent, res.unsplit), file=out)
+
+        runs = args.runs
+        if runs is None and args.time_budget is None:
+            runs = 100
+        result = campaign.run_campaign(
+            seed=args.seed, runs=runs, time_budget=args.time_budget,
+            jobs=args.jobs, configs=configs,
+            minimize_divergences=args.minimize, corpus_dir=args.corpus_dir,
+            progress=progress if runs is None or runs > 25 else None)
+        print(
+            "fuzzed %d program(s) in %.1fs across %d config(s) "
+            "[seed %d; %d unsplit]"
+            % (result.programs, result.elapsed_s, len(configs), args.seed,
+               result.unsplit), file=out)
+        for seed_, matrix in result.findings:
+            print("  seed %d [%s]:" % (seed_, matrix.split_summary), file=out)
+            for d in matrix.divergences[:4]:
+                print("    DIVERGENCE %s" % d.describe(), file=out)
+        for path in result.repro_paths:
+            print("  minimized repro: %s" % path, file=out)
+        print("divergent programs: %d" % result.divergent, file=out)
+        return 0 if result.ok else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -643,6 +713,41 @@ def build_parser():
     p.add_argument("--runs", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across the execution-config matrix "
+        "(docs/TESTING.md)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="first generator seed (seeds walk upward from here)")
+    p.add_argument("--runs", type=int, default=None,
+                   help="number of programs to fuzz (default 100, or "
+                   "unlimited when --time-budget is set; with both, "
+                   "whichever limit hits first wins)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                   dest="time_budget",
+                   help="stop after this many seconds instead of a fixed "
+                   "--runs count")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker threads fuzzing seeds concurrently")
+    p.add_argument("--configs", default=None, metavar="A,B,...",
+                   help="comma-separated configuration subset (default: all; "
+                   "see docs/TESTING.md for the matrix)")
+    p.add_argument("--minimize", action="store_true",
+                   help="delta-debug each diverging program to a minimal "
+                   ".mj repro in the corpus directory")
+    p.add_argument("--corpus-dir", default="tests/fuzz_corpus",
+                   dest="corpus_dir",
+                   help="where minimized repros are written")
+    p.add_argument("--self-check", action="store_true", dest="self_check",
+                   help="plant a known hidden-engine bug and verify the "
+                   "fuzzer catches, minimizes, and clears it")
+    p.add_argument("--replay", metavar="FILE.mj",
+                   help="re-run one corpus repro through the oracle instead "
+                   "of fuzzing")
+    metrics_flag(p)
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

@@ -15,6 +15,7 @@ from repro.analysis.function import analyze_function
 from repro.core.program import split_program
 from repro.core.selection import select_functions, select_variable
 from repro.core.splitter import SplitOptions
+from repro.lang import check_program, parse_program
 
 
 def auto_split(program, checker, entry="main", max_functions=None, options=None,
@@ -50,3 +51,38 @@ def auto_split(program, checker, entry="main", max_functions=None, options=None,
         if var is not None:
             choices.append((name, var))
     return split_program(program, checker, choices, options=options)
+
+
+def prepare_split(program, checker, choices=None, entry="main",
+                  max_functions=None, options=None, scorer=None):
+    """Split an already parsed-and-checked program in one call.
+
+    With explicit ``choices`` (a list of ``(function, variable)`` pairs)
+    this is :func:`~repro.core.program.split_program`; without, the
+    paper's automatic selection via :func:`auto_split`.  This is the
+    single entry point the CLI, the differential fuzzer, and the test
+    suites share, so every consumer exercises the same path.
+    """
+    if choices:
+        return split_program(program, checker, choices, options=options)
+    return auto_split(program, checker, entry=entry,
+                      max_functions=max_functions, options=options,
+                      scorer=scorer)
+
+
+def split_source(source, choices=None, entry="main", max_functions=None,
+                 options=None, scorer=None):
+    """Parse, type-check and split ``source`` text in one call.
+
+    Returns ``(program, checker, split)`` where ``split`` is a
+    :class:`~repro.core.program.SplitProgram`.  Raises
+    :class:`~repro.lang.errors.LangError` on parse/type errors and
+    :class:`~repro.core.splitter.SplitError` when an explicit choice
+    cannot be honoured.
+    """
+    program = parse_program(source)
+    checker = check_program(program)
+    split = prepare_split(program, checker, choices=choices, entry=entry,
+                          max_functions=max_functions, options=options,
+                          scorer=scorer)
+    return program, checker, split

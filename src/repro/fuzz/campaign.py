@@ -1,0 +1,163 @@
+"""Fuzzing campaigns: the seed loop behind ``repro fuzz``.
+
+A campaign walks seeds ``seed, seed+1, ...`` until it has fuzzed
+``runs`` programs or spent its time budget, pushing each generated
+program through the oracle's configuration matrix.  Divergences are
+optionally minimized (:mod:`repro.fuzz.reduce`) and written to the
+corpus directory as ``.mj`` repro files whose ``// args:`` header lines
+make them standalone — :func:`replay_file` re-runs one through the
+oracle, which is also how ``tests/test_fuzz.py`` turns every committed
+corpus entry into a regression test.
+"""
+
+import time
+
+from repro.fuzz import oracle
+from repro.fuzz.generate import generate_program
+from repro.fuzz.reduce import minimize, write_repro
+from repro.lang.pretty import pretty
+
+#: arg sets used when a replayed corpus file has no ``// args:`` header
+DEFAULT_ARG_SETS = ((0, 0), (3, 5), (-4, 7))
+
+
+class CampaignResult:
+    """Counters and findings from one campaign."""
+
+    def __init__(self):
+        self.programs = 0
+        self.divergent = 0
+        self.unsplit = 0
+        self.elapsed_s = 0.0
+        self.findings = []       # (seed, MatrixResult)
+        self.repro_paths = []
+
+    @property
+    def ok(self):
+        return self.divergent == 0
+
+
+def fuzz_one(seed, configs=None, max_steps=oracle.DEFAULT_MAX_STEPS):
+    """Generate and differentially test the program for one seed."""
+    program, arg_sets = generate_program(seed)
+    source = pretty(program)
+    return source, arg_sets, oracle.run_matrix(
+        source, arg_sets, configs=configs, max_steps=max_steps)
+
+
+def _minimize_finding(seed, source, arg_sets, configs, corpus_dir):
+    """Shrink a diverging program and write the repro file."""
+
+    def interesting(src):
+        return oracle.run_matrix(src, arg_sets, configs=configs).diverged
+
+    minimized = minimize(source, interesting)
+    final = oracle.run_matrix(minimized, arg_sets, configs=configs)
+    header = ["repro-fuzz minimized divergence", "seed: %d" % seed]
+    header += ["divergence: %s" % d.describe() for d in final.divergences[:4]]
+    header += ["args: %s" % " ".join(str(a) for a in args)
+               for args in arg_sets]
+    return write_repro(corpus_dir, minimized, header_lines=header, seed=seed)
+
+
+def run_campaign(seed=0, runs=100, time_budget=None, jobs=1, configs=None,
+                 minimize_divergences=False, corpus_dir="tests/fuzz_corpus",
+                 max_steps=oracle.DEFAULT_MAX_STEPS, progress=None):
+    """Run a campaign; returns a :class:`CampaignResult`.
+
+    ``runs=None`` runs until ``time_budget`` (seconds) expires; with both
+    set, whichever limit hits first ends the campaign.  ``jobs`` > 1
+    fans seeds out to worker threads (socket configurations spend much
+    of their time in network waits, so threads do overlap usefully).
+    """
+    if runs is None and time_budget is None:
+        raise ValueError("campaign needs --runs or --time-budget")
+    configs = tuple(configs) if configs else oracle.CONFIGS
+    started = time.monotonic()
+    result = CampaignResult()
+
+    def out_of_time():
+        return (time_budget is not None
+                and time.monotonic() - started >= time_budget)
+
+    def handle(seed_, source, arg_sets, matrix):
+        result.programs += 1
+        if not matrix.split_summary:
+            result.unsplit += 1
+        if matrix.diverged:
+            result.divergent += 1
+            result.findings.append((seed_, matrix))
+            if minimize_divergences:
+                result.repro_paths.append(_minimize_finding(
+                    seed_, source, arg_sets, configs, corpus_dir))
+        if progress is not None:
+            progress(result)
+
+    def seeds():
+        s = seed
+        while runs is None or s < seed + runs:
+            yield s
+            s += 1
+
+    if jobs <= 1:
+        for s in seeds():
+            if out_of_time():
+                break
+            handle(s, *fuzz_one(s, configs, max_steps))
+    else:
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            pending = {}
+            it = seeds()
+            done = False
+            while not done or pending:
+                while not done and len(pending) < jobs * 2:
+                    if out_of_time():
+                        done = True
+                        break
+                    try:
+                        s = next(it)
+                    except StopIteration:
+                        done = True
+                        break
+                    pending[pool.submit(fuzz_one, s, configs, max_steps)] = s
+                if not pending:
+                    break
+                completed, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED)
+                for fut in completed:
+                    s = pending.pop(fut)
+                    handle(s, *fut.result())
+
+    result.elapsed_s = time.monotonic() - started
+    return result
+
+
+def _parse_header_args(source):
+    arg_sets = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("//"):
+            break
+        body = stripped[2:].strip()
+        if body.startswith("args:"):
+            parts = body[len("args:"):].split()
+            try:
+                arg_sets.append(tuple(int(p) for p in parts))
+            except ValueError:
+                continue
+    return arg_sets
+
+
+def replay_file(path, configs=None, max_steps=oracle.DEFAULT_MAX_STEPS):
+    """Replay one corpus ``.mj`` file through the oracle.
+
+    Argument tuples come from the file's ``// args:`` header lines
+    (falling back to :data:`DEFAULT_ARG_SETS`).  Returns the
+    :class:`~repro.fuzz.oracle.MatrixResult`."""
+    with open(path) as f:
+        source = f.read()
+    arg_sets = _parse_header_args(source) or list(DEFAULT_ARG_SETS)
+    return oracle.run_matrix(source, arg_sets, configs=configs,
+                             max_steps=max_steps)

@@ -171,6 +171,14 @@ def ret(value=None):
     return ast.Return(_expr(value) if value is not None else None)
 
 
+def break_():
+    return ast.Break()
+
+
+def continue_():
+    return ast.Continue()
+
+
 def call_stmt(name_or_expr, *args):
     if isinstance(name_or_expr, (ast.Call, ast.MethodCall)):
         return ast.CallStmt(name_or_expr)

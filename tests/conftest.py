@@ -1,0 +1,29 @@
+"""Shared pytest configuration: deterministic hypothesis profiles.
+
+Property tests must behave identically on every run of a given tree —
+a CI gate that sometimes finds a falsifying example and sometimes does
+not is a flaky gate, and genuinely-falsifiable properties belong in the
+fuzzer's corpus (docs/TESTING.md), not in random per-run discovery.
+
+Two profiles:
+
+* ``ci`` (the default): ``derandomize=True`` — the example sequence is
+  a pure function of each test, and the local example database is
+  disabled, so a run neither depends on nor pollutes local state.
+  ``deadline=None`` because several properties split *and* run
+  programs; wall-clock per example varies too much for a deadline.
+* ``dev``: randomized exploration with the example database, for
+  hunting new falsifying examples locally.  Anything it finds should be
+  promoted to an explicit regression (an ``@example`` or a corpus
+  ``.mj`` file) rather than left to chance.
+
+Select with ``HYPOTHESIS_PROFILE=dev python -m pytest ...``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

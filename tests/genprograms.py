@@ -1,141 +1,93 @@
 """Hypothesis strategies generating small, valid, *terminating* programs.
 
-Used by the property tests: every generated program type checks, runs in
-bounded time (loops are counted with small constant bounds), and exercises
-a mix of scalar arithmetic, arrays, branches and loops — the constructs the
-splitting transformation must preserve.
+Since the differential fuzzer landed, the grammar itself lives in
+:mod:`repro.fuzz.generate`, written against the :class:`~repro.fuzz.generate.Draw`
+choice-source interface.  This module adapts hypothesis's ``draw`` into
+that interface, so the property tests and the fuzzer generate from the
+*same* grammar — a construct added there (classes with fields and
+methods, globals, nested loops, a callee function) is automatically
+exercised by both, while hypothesis keeps its shrinking and replay.
+
+Every generated program type checks, runs in bounded time (loops are
+counted with small constant bounds), and contains the function ``f(int
+x, int y, int[] B)`` with candidate hidden locals plus a ``main(int x,
+int y)`` printing every observable effect — the shape the splitting
+property tests expect.
 """
 
 from hypothesis import strategies as st
 
-from repro.lang import builders as b
-from repro.lang import ast
+from repro.fuzz.generate import (
+    ARRAY_LEN,
+    BOOL_LOCAL,
+    INT_LOCALS,
+    Draw,
+    GenConfig,
+    gen_arg_sets,
+    gen_class,
+    gen_function,
+    gen_main,
+    gen_program,
+)
 
-#: scalar int locals available in generated function bodies
-LOCALS = ["v0", "v1", "v2", "v3"]
+#: scalar int locals available in generated function bodies (the
+#: splittable-variable candidates)
+LOCALS = list(INT_LOCALS)
 PARAMS = ["x", "y"]
 ARRAY = "B"
 
-_small_int = st.integers(min_value=-9, max_value=9)
-_nonzero_int = st.integers(min_value=1, max_value=9)
+
+class HypothesisDraw(Draw):
+    """Adapts a hypothesis ``draw`` function to the grammar's choice
+    source, so example shrinking drives the same decisions the fuzzer's
+    seeded :class:`~repro.fuzz.generate.RandomDraw` makes."""
+
+    def __init__(self, draw):
+        self._draw = draw
+
+    def integer(self, lo, hi):
+        return self._draw(st.integers(min_value=lo, max_value=hi))
+
+    def choice(self, options):
+        return self._draw(st.sampled_from(list(options)))
 
 
-def _leaf(names):
-    return st.one_of(
-        _small_int.map(b.lit),
-        st.sampled_from(names).map(b.var),
-    )
-
-
-def _expr(names, depth=2):
-    if depth == 0:
-        return _leaf(names)
-    sub = _expr(names, depth - 1)
-    return st.one_of(
-        _leaf(names),
-        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
-            lambda t: b.binop(t[0], t[1], t[2])
-        ),
-        # division/remainder with a non-zero constant divisor keeps runs
-        # deterministic and total
-        st.tuples(st.sampled_from(["/", "%"]), sub, _nonzero_int).map(
-            lambda t: b.binop(t[0], t[1], b.lit(t[2]))
-        ),
-    )
-
-
-def _cond(names):
-    return st.tuples(
-        st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
-        _expr(names, 1),
-        _expr(names, 1),
-    ).map(lambda t: b.binop(t[0], t[1], t[2]))
-
-
-def _assign_stmt(names):
-    return st.tuples(st.sampled_from(LOCALS), _expr(names)).map(
-        lambda t: b.assign(t[0], t[1])
-    )
-
-
-def _array_store(names):
-    return st.tuples(st.integers(min_value=0, max_value=7), _expr(names)).map(
-        lambda t: b.assign(b.index(ARRAY, t[0]), t[1])
-    )
-
-
-def _simple_stmt(names):
-    return st.one_of(_assign_stmt(names), _array_store(names))
-
-
-def _if_stmt(names, body):
-    return st.tuples(_cond(names), st.lists(body, min_size=1, max_size=3),
-                     st.lists(body, max_size=2)).map(
-        lambda t: b.if_(t[0], t[1], t[2])
-    )
-
-
-def _guarded_break(names):
-    """``if (cond) { break; }`` — only generated inside loops."""
-    return _cond(names).map(lambda c: b.if_(c, [ast.Break()], []))
-
-
-def _counted_loop(names, body):
-    """``for (k = 0; k < N; k = k + 1)`` with N <= 6: always terminates."""
-    loop_body = st.lists(
-        st.one_of(body, _guarded_break(names)), min_size=1, max_size=3
-    )
-    return st.tuples(st.integers(min_value=1, max_value=6), loop_body).map(
-        lambda t: b.for_(
-            b.assign("k", b.lit(0)),
-            b.lt("k", t[0]),
-            b.assign("k", b.add("k", 1)),
-            t[1],
-        )
-    )
+#: property-test sizing: slightly smaller than the fuzzer default so
+#: hypothesis example counts stay fast
+_CFG = GenConfig(max_stmts=5, expr_depth=2, loop_nesting=2)
 
 
 @st.composite
 def function_bodies(draw):
     """A statement list for the generated function ``f``."""
-    names = LOCALS + PARAMS
-    simple = _simple_stmt(names)
-    stmts = []
-    # declarations first (language requires declare-before-use; single
-    # declaration per name)
-    for name in LOCALS:
-        stmts.append(b.decl("int", name, draw(_expr(PARAMS, 1))))
-    stmts.append(b.decl("int", "k", b.lit(0)))
-    n_stmts = draw(st.integers(min_value=2, max_value=7))
-    for _ in range(n_stmts):
-        kind = draw(st.sampled_from(["simple", "if", "loop"]))
-        if kind == "simple":
-            stmts.append(draw(simple))
-        elif kind == "if":
-            stmts.append(draw(_if_stmt(names, simple)))
-        else:
-            stmts.append(draw(_counted_loop(names, simple)))
-    result = draw(_expr(names, 1))
-    stmts.append(b.ret(result))
-    return stmts
+    return gen_function(HypothesisDraw(draw), _CFG).body
 
 
 @st.composite
 def programs(draw):
-    """A full program: ``f(x, y, B)`` plus a ``main`` printing its effects."""
-    body = draw(function_bodies())
-    f = b.func("f", [("int", "x"), ("int", "y"), ("int[]", ARRAY)], "int", body)
-    main = b.func(
-        "main",
-        [("int", "x"), ("int", "y")],
-        "void",
-        [
-            b.decl("int[]", ARRAY, b.new_array("int", 8)),
-            b.print_(b.call("f", "x", "y", ARRAY)),
-        ]
-        + [b.print_(b.index(ARRAY, i)) for i in range(8)],
-    )
-    return b.program(functions=[f, main])
+    """A full program: ``f(x, y, B)`` plus a ``main`` printing its
+    effects; classes, globals, and a callee function join per-example."""
+    return gen_program(HypothesisDraw(draw), _CFG)
+
+
+@st.composite
+def class_programs(draw):
+    """A program whose ``main`` always constructs objects and calls
+    methods — field access and instance-id coverage is guaranteed, not
+    probabilistic."""
+    d = HypothesisDraw(draw)
+    from repro.lang import builders as b
+
+    cls = gen_class(d, _CFG)
+    f = gen_function(d, _CFG)
+    main = gen_main(d, _CFG, {"class": True})
+    return b.program(functions=[f, main], classes=[cls])
+
+
+@st.composite
+def arg_sets(draw):
+    """Argument tuples for a generated ``main(int x, int y)``."""
+    return gen_arg_sets(HypothesisDraw(draw))
 
 
 def splittable_locals():

@@ -275,3 +275,33 @@ def test_random_programs_split_equivalent(program):
             continue
         for args in [(0, 0), (3, 5), (-4, 7)]:
             check_equivalence(program, sp, args=args)
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_random_programs_split_equivalent_over_socket(program):
+    """The equivalence property holds over the real TCP transport too: the
+    open component driven against a served hidden component produces the
+    original outputs, and the real network round trips match what the
+    simulated channel accounted for."""
+    from repro.runtime.remote import remote_server, run_split_remote
+    from repro.runtime.splitrun import run_original
+
+    checker = check_program(program)
+    fn = program.function("f")
+    analysis = analyze_function(fn, checker)
+    variables = splittable_variables(fn, analysis)
+    if not variables:
+        return
+    try:
+        sp = split_program(program, checker, [("f", variables[0])])
+    except SplitError:
+        return
+    with remote_server(sp) as address:
+        for args in [(0, 0), (3, 5)]:
+            base = run_original(program, args=args)
+            local = run_split(sp, args=args)
+            remote = run_split_remote(sp, address, args=args)
+            assert remote.output == base.output
+            assert remote.value == base.value
+            assert remote.interactions == local.channel.interactions

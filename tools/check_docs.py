@@ -102,16 +102,24 @@ def defined_flags():
     return set(_FLAG_DEF.findall(source))
 
 
-def check_cli_surface(path, text, routes, flags, errors):
-    """The worked examples in docs/OBSERVABILITY.md name endpoints and CLI
-    flags; both must exist in the source they document."""
+def check_cli_surface(path, text, routes, flags, errors, repro_lines_only=False):
+    """The worked examples in docs/OBSERVABILITY.md and docs/TESTING.md
+    name endpoints and CLI flags; both must exist in the source they
+    document.  With ``repro_lines_only`` the flag check is restricted to
+    lines invoking ``repro`` — TESTING.md also shows pytest/coverage
+    flags this tool must not vet against our CLI."""
     for endpoint in sorted(set(_ENDPOINT_USE.findall(text))):
         if endpoint not in routes:
             errors.append(
                 "%s: unknown exposition endpoint %r (not in httpexpo ROUTES)"
                 % (_rel(path), endpoint)
             )
-    for flag in sorted(set(_FLAG_USE.findall(text))):
+    flag_text = text
+    if repro_lines_only:
+        flag_text = "\n".join(
+            line for line in text.splitlines() if "repro " in line
+        )
+    for flag in sorted(set(_FLAG_USE.findall(flag_text))):
         if flag not in flags:
             errors.append(
                 "%s: unknown CLI flag %r (no add_argument defines it)"
@@ -138,6 +146,9 @@ def main():
         check_metrics(path, text, known, errors)
         if path.name == "OBSERVABILITY.md":
             check_cli_surface(path, text, routes, flags, errors)
+        elif path.name == "TESTING.md":
+            check_cli_surface(path, text, routes, flags, errors,
+                              repro_lines_only=True)
     if errors:
         print("documentation checks failed:", file=sys.stderr)
         for error in errors:
