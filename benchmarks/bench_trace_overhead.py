@@ -1,0 +1,160 @@
+"""Distributed-tracing overhead on the real wire (BENCH_trace.json).
+
+Tracing (``--trace``, docs/OBSERVABILITY.md) must be free when it is off
+and cheap when it is on.  This benchmark runs the same TCP ``run-split``
+workload in two cells:
+
+* ``plain`` — trace off, telemetry off: the seed configuration, the exact
+  code path an untraced run takes;
+* ``recorded`` — trace off, but a flight recorder and metrics registry
+  live (``--log-events``): isolates the pre-existing telemetry cost;
+* ``traced`` — trace context stamped on every frame, phase timing
+  measured, same telemetry live: the increment over ``recorded`` is what
+  tracing itself costs.
+
+Both cells must agree *exactly* on output, step counts, round-trip count,
+and transcript event-kind sequence — tracing rides in additive frame
+fields and an uncounted handshake, so its accounting is bit-identical
+(``off_accounting_identical`` in the report; the oracle's
+``socket-compiled-traced`` cell fuzzes the same property).  The committed
+numbers are guarded by ``tools/check_trace.py``.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py \
+        --output BENCH_trace.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro import obs
+from repro.lang import check_program, parse_program
+from repro.core.program import split_program
+from repro.obs.events import FlightRecorder
+from repro.runtime.remote import remote_server, run_split_remote
+
+#: one hidden-fragment call per loop iteration -> ITERS round trips of
+#: real wire traffic per run
+SOURCE = """
+func int f(int x) {
+    int a = x * 3 + 1;
+    int b = a - 2;
+    return a + b;
+}
+func int main(int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + f(i);
+        i = i + 1;
+    }
+    return s;
+}
+"""
+
+ITERS = 150
+REPEATS = 3
+
+
+def _split():
+    program = parse_program(SOURCE)
+    checker = check_program(program)
+    return split_program(program, checker, [("f", "a")])
+
+
+def _fingerprint(result):
+    """Everything tracing must not change."""
+    kinds = tuple(e.kind for e in result.channel.transcript.events)
+    return (result.value, tuple(result.output), result.steps_open,
+            result.interactions, kinds)
+
+
+def _run_cell(sp, address, iters, mode):
+    started = time.perf_counter()
+    if mode == "plain":
+        result = run_split_remote(sp, address, args=(iters,))
+    else:
+        with obs.telemetry(recorder=FlightRecorder(process="Of")):
+            result = run_split_remote(sp, address, args=(iters,),
+                                      trace=(mode == "traced"))
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def _measure(sp, address, iters, mode, repeats):
+    best_s = None
+    fingerprint = None
+    for _ in range(repeats):
+        result, elapsed = _run_cell(sp, address, iters, mode)
+        fingerprint = _fingerprint(result)
+        best_s = elapsed if best_s is None else min(best_s, elapsed)
+    return {
+        "round_trips": fingerprint[3],
+        "best_s": round(best_s, 6),
+        "rt_per_s": round(fingerprint[3] / best_s, 1),
+    }, fingerprint
+
+
+def run_suite(iters=ITERS, repeats=REPEATS):
+    sp = _split()
+    cells = {}
+    fingerprints = {}
+    with remote_server(sp) as address:
+        for mode in ("plain", "recorded", "traced"):
+            cells[mode], fingerprints[mode] = _measure(
+                sp, address, iters, mode, repeats)
+    return {
+        "description": "TCP run-split round-trip throughput: telemetry "
+                       "off / recorder on / tracing on (best of %d)"
+                       % repeats,
+        "iters": iters,
+        "cells": cells,
+        # what enabling telemetry at all costs (pre-existing)
+        "telemetry_overhead_pct": round(
+            100.0 * (cells["plain"]["rt_per_s"]
+                     / cells["recorded"]["rt_per_s"] - 1.0), 2),
+        # what tracing adds on top of live telemetry
+        "trace_overhead_pct": round(
+            100.0 * (cells["recorded"]["rt_per_s"]
+                     / cells["traced"]["rt_per_s"] - 1.0), 2),
+        "off_accounting_identical": (
+            fingerprints["plain"] == fingerprints["recorded"]
+            == fingerprints["traced"]
+        ),
+    }
+
+
+# -- pytest smoke entry point (CI: tracing must not change accounting) --------
+
+
+def test_traced_run_accounting_identical_smoke():
+    sp = _split()
+    with remote_server(sp) as address:
+        plain, _ = _run_cell(sp, address, 25, "plain")
+        traced, _ = _run_cell(sp, address, 25, "traced")
+    assert _fingerprint(plain) == _fingerprint(traced)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="bench_trace_overhead")
+    parser.add_argument("--iters", type=int, default=ITERS)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--output", help="write JSON here (default stdout)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(iters=args.iters, repeats=args.repeats)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print("wrote %s" % args.output)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,8 @@ def main(argv=None):
     parser.add_argument(
         "names",
         nargs="*",
-        help="which experiments (table1..table5, fig2, fig3, attack); default all",
+        help="which experiments (table1..table5, rtattr, fig2, fig3, "
+        "attack); default all",
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument(
@@ -37,6 +38,7 @@ def main(argv=None):
         "table4": lambda: experiments.run_table4(scale=args.scale),
         "table5": lambda: experiments.run_table5(scale=args.scale,
                                                  engine=args.engine),
+        "rtattr": lambda: experiments.run_rt_attribution(scale=args.scale),
         "fig2": lambda: experiments.run_fig2_experiment(engine=args.engine),
         "fig3": lambda: experiments.run_fig3_experiment(engine=args.engine),
         "attack": experiments.run_attack_experiment,

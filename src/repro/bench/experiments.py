@@ -309,6 +309,57 @@ def run_table5(scale=1.0, latency=None, runs=None, batching=False,
     return ExperimentResult("table5", data, table)
 
 
+# -- Round-trip latency attribution (the wire behind Table 5) ----------------
+
+
+def run_rt_attribution(scale=0.3, runs=None):
+    """Where the real wire time goes, per Table 5 corpus.
+
+    Table 5's overhead numbers are simulated; this experiment runs each
+    corpus once against an actual TCP-served hidden component with
+    distributed tracing on (``--trace``, docs/OBSERVABILITY.md) and
+    decomposes the measured round trips into serialize / wire / exec /
+    deser.  The "Explained" column is the share of the measured wall time
+    the four phases account for — 100% up to rounding, by construction.
+    """
+    from repro.obs import traceview
+    from repro.obs.events import FlightRecorder
+    from repro.runtime.remote import remote_server, run_split_remote
+
+    runs = runs if runs is not None else TABLE5_RUNS
+    picked = []
+    for run in runs:  # first driver invocation of each benchmark
+        if all(p.benchmark != run.benchmark for p in picked):
+            picked.append(run)
+    table = Table(
+        "Round-trip latency attribution over the wire (us, share of wall)",
+        ["Benchmark", "Round trips", "Wall (us)", "serialize", "wire",
+         "exec", "deser", "Explained"],
+    )
+    data = {}
+    for run in picked:
+        sp = split_corpus(run.benchmark, scale)
+        recorder = FlightRecorder(process="Of")
+        with remote_server(sp) as address:
+            # telemetry scoped to the client only: the server thread was
+            # created outside, so its events stay out of this recorder
+            with obs.telemetry(recorder=recorder):
+                run_split_remote(sp, address, args=(run.n, run.m),
+                                 trace=True)
+        report = traceview.attribution(list(recorder.events))
+        overall = report["overall"]
+        data[run.benchmark] = report
+        total = overall["total_us"] or 1.0
+        cells = [run.benchmark, overall["round_trips"],
+                 "%.1f" % overall["total_us"]]
+        for phase in ("serialize", "wire", "exec", "deser"):
+            us = overall["phases_us"][phase]
+            cells.append("%.1f (%.0f%%)" % (us, 100.0 * us / total))
+        cells.append("%.2f%%" % overall["coverage_pct"])
+        table.add_row(*cells)
+    return ExperimentResult("rtattr", data, table)
+
+
 # -- Figures -----------------------------------------------------------------
 
 

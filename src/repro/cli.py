@@ -9,6 +9,7 @@
     python -m repro table1 PROG.mj                  # self-contained analysis
     python -m repro attack PROG.mj --runs 40        # recovery attempts
     python -m repro stats PROG.mj --args 2 3        # telemetry snapshot
+    python -m repro trace client.jsonl server.jsonl --out merged.json
 
 ``PROG.mj`` is a MiniJava source file (see README for the language).  When
 ``--function/--var`` are omitted, ``split`` uses the paper's automatic
@@ -102,14 +103,24 @@ def _telemetry_session(args, out=None):
     from repro.obs import export
     from repro.obs.events import FlightRecorder, write_events
 
-    recorder = FlightRecorder() if events_path else None
+    # the recorder's process name labels its row in merged Chrome traces
+    # (repro trace): the serving side is the hidden component Hf, a remote
+    # client run is the open component Of
+    process = "repro"
+    command = getattr(args, "command", None)
+    if command == "serve":
+        process = "Hf"
+    elif getattr(args, "remote", None):
+        process = "Of"
+    recorder = FlightRecorder(process=process) if events_path else None
     with obs.telemetry(recorder=recorder) as (registry, tracer):
         expo = None
         try:
             if expo_port is not None:
                 from repro.obs.httpexpo import ExpositionServer
 
-                expo = ExpositionServer(registry, tracer, port=expo_port)
+                expo = ExpositionServer(registry, tracer, port=expo_port,
+                                        recorder=recorder)
                 host, port = expo.start()
                 if out is not None:
                     print(
@@ -121,7 +132,7 @@ def _telemetry_session(args, out=None):
             if expo is not None:
                 expo.stop()
             if metrics_path:
-                export.write_json(metrics_path, registry, tracer)
+                export.write_json(metrics_path, registry, tracer, recorder)
             if events_path:
                 write_events(
                     events_path, recorder,
@@ -200,13 +211,21 @@ def cmd_run_split(args, out):
             run_args = _parse_args_list(args.args)
             batching = getattr(args, "batching", "off") == "on"
             engine = getattr(args, "engine", DEFAULT_ENGINE)
+            trace = getattr(args, "trace", False)
+            if trace and not args.remote:
+                print(
+                    "error: --trace requires --remote (the in-process "
+                    "channel has no wire to trace)", file=out,
+                )
+                return 2
             if args.remote:
                 from repro.runtime.remote import run_split_remote
 
                 host, _, port = args.remote.rpartition(":")
                 result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
                                           entry=args.entry, args=run_args,
-                                          batching=batching, engine=engine)
+                                          batching=batching, engine=engine,
+                                          trace=trace)
                 for line in result.output:
                     print(line, file=out)
                 print(
@@ -214,6 +233,20 @@ def cmd_run_split(args, out):
                     % result.interactions,
                     file=out,
                 )
+                if trace:
+                    sync = result.trace_sync or {}
+                    if sync.get("offset_us") is not None:
+                        print(
+                            "[traced; clock offset %+.1f us, skew bound "
+                            "%.1f us]" % (sync["offset_us"],
+                                          sync["skew_bound_us"]),
+                            file=out,
+                        )
+                    else:
+                        print(
+                            "[traced; server did not answer the clock "
+                            "handshake]", file=out,
+                        )
                 return 0
             check_equivalence(program, sp, entry=args.entry, args=run_args,
                               engine=engine)
@@ -473,6 +506,38 @@ def cmd_attack(args, out):
     return 0
 
 
+def cmd_trace(args, out):
+    """Merge traced client/server event streams; print the attribution."""
+    from repro.obs import traceview
+
+    client_events = traceview.load_events(args.client)
+    server_events = (
+        traceview.load_events(args.server) if args.server else None
+    )
+    if args.out:
+        doc = traceview.merge_chrome(client_events, server_events)
+        with open(args.out, "w") as f:
+            json.dump(doc, f, sort_keys=True)
+            f.write("\n")
+        print(
+            "wrote %s (%d trace events%s)"
+            % (args.out, len(doc["traceEvents"]),
+               "" if doc["otherData"]["aligned"] else "; clocks unaligned"),
+            file=out,
+        )
+    report = traceview.attribution(client_events)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    elif report["rows"]:
+        print(traceview.render_attribution(report), file=out, end="")
+    else:
+        print(
+            "no traced round trips in %s (was the run made with --trace?)"
+            % args.client, file=out,
+        )
+    return 0
+
+
 def cmd_fuzz(args, out):
     """Differential fuzzing: generated programs through the config matrix."""
     from repro.fuzz import campaign, oracle, selfcheck
@@ -619,6 +684,12 @@ def build_parser():
     p.add_argument("--args", nargs="*", default=[])
     p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
     p.add_argument("--remote", help="host:port of a served hidden component")
+    p.add_argument(
+        "--trace", action="store_true",
+        help="stamp every frame with trace context and measure the "
+        "serialize/wire/exec/deser phase split per round trip (remote "
+        "runs only; docs/PROTOCOL.md)",
+    )
     batching_flag(p)
     engine_flag(p)
     metrics_flag(p)
@@ -713,6 +784,23 @@ def build_parser():
     p.add_argument("--runs", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser(
+        "trace",
+        help="merge traced client/server --log-events streams into one "
+        "Chrome trace and print the latency attribution "
+        "(docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("client", help="client --log-events jsonl (the Of side)")
+    p.add_argument("server", nargs="?",
+                   help="server --log-events jsonl (the Hf side); omit for "
+                   "a client-only report")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the merged Chrome/Perfetto trace-event "
+                   "document here")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="attribution report format (default: text)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "fuzz",

@@ -13,7 +13,12 @@ only in execution strategy must also agree on the fine-grained accounting:
   docs/ENGINE.md);
 * ``socket-*`` — the real TCP transport must carry exactly the traffic
   the simulated channel accounts for (plus the one ``hello`` handshake
-  round trip when batching is on, docs/PROTOCOL.md).
+  round trip when batching is on, docs/PROTOCOL.md);
+* ``socket-compiled-traced`` — distributed tracing on (``--trace``):
+  trace context and phase measurement must not change behaviour *or*
+  accounting, so its round-trip count is checked against the untraced
+  ``split-compiled`` cell with no handshake allowance at all (the trace
+  hello is deliberately uncounted, docs/PROTOCOL.md).
 
 A program whose automatic selection finds nothing to split (or where an
 explicit choice raises ``SplitError``) skips the split configurations —
@@ -41,14 +46,16 @@ DEFAULT_MAX_STEPS = 2_000_000
 class Config:
     """One cell of the execution matrix."""
 
-    __slots__ = ("name", "split", "engine", "batching", "socket")
+    __slots__ = ("name", "split", "engine", "batching", "socket", "trace")
 
-    def __init__(self, name, split, engine, batching=False, socket=False):
+    def __init__(self, name, split, engine, batching=False, socket=False,
+                 trace=False):
         self.name = name
         self.split = split
         self.engine = engine
         self.batching = batching
         self.socket = socket
+        self.trace = trace
 
     def __repr__(self):
         return "<Config %s>" % self.name
@@ -69,6 +76,8 @@ CONFIGS = (
     Config("socket-compiled", split=True, engine="compiled", socket=True),
     Config("socket-compiled-batch", split=True, engine="compiled",
            batching=True, socket=True),
+    Config("socket-compiled-traced", split=True, engine="compiled",
+           socket=True, trace=True),
 )
 
 CONFIG_NAMES = tuple(c.name for c in CONFIGS)
@@ -82,6 +91,9 @@ _TRAFFIC_PAIRS = (
     ("socket-ast", "split-ast", 0),
     ("socket-compiled", "split-compiled", 0),
     ("socket-compiled-batch", "split-compiled-batch", 1),
+    # tracing rides in frame fields and an uncounted handshake frame, so a
+    # traced run's accounting is identical to the plain socket run's
+    ("socket-compiled-traced", "split-compiled", 0),
 )
 
 
@@ -179,7 +191,8 @@ def _run_config(config, program, sp, address, args, max_steps):
 
         return _observe(lambda: run_split_remote(
             sp, address, args=args, max_steps=max_steps,
-            batching=config.batching, engine=config.engine))
+            batching=config.batching, engine=config.engine,
+            trace=config.trace))
     return _observe(lambda: run_split(
         sp, args=args, latency=LatencyModel.instant(), max_steps=max_steps,
         batching=config.batching, engine=config.engine))

@@ -25,20 +25,32 @@ Two output formats (``repro ... --log-events PATH --log-events-format``):
 
 Event schema (``type`` field):
 
-=============  =====================================================
-``channel``    ``kind, fn, label, values, bytes, sim_ms``
-``fragment``   ``fn, label, steps`` (one hidden fragment execution)
-``span_open``  ``name, depth``
-``span_close`` ``name, depth, wall_s, sim_ms``
-=============  =====================================================
+===============  =====================================================
+``channel``      ``kind, fn, label, values, bytes, sim_ms``
+``fragment``     ``fn, label, steps, wall_us`` (one hidden fragment
+                 execution)
+``span_open``    ``name, depth``
+``span_close``   ``name, depth, wall_s, sim_ms``
+``server_recv``  ``op`` (+ ``sub`` for coalesced batch sub-ops) — a
+                 frame arriving at the remote hidden server
+``server_send``  ``op, exec_us, ok`` — the matching reply leaving it
+``trace_sync``   ``send_us, recv_us, server_us, offset_us,
+                 skew_bound_us`` — one clock-alignment handshake
+===============  =====================================================
 
 All events also carry ``seq`` (monotonic, 1-based) and ``ts_us``
 (microseconds since the recorder was created, ``time.perf_counter``
-based).
+based).  Traced runs (``--trace``, docs/PROTOCOL.md) add ``trace_id``
+and ``cseq`` to every event recorded inside a request context, plus
+per-phase timings (``ser_us``/``wire_us``/``exec_us``/``deser_us``/
+``rt_us``) on client ``channel`` events — additive only, so untraced
+streams keep the golden key sets above.
 """
 
 import collections
+import contextlib
 import json
+import threading
 import time
 
 #: accepted values for ``--log-events-format``
@@ -47,19 +59,51 @@ EVENT_FORMATS = ("jsonl", "chrome")
 #: default bound on retained events (~a few tens of MB of dicts at worst)
 DEFAULT_MAX_EVENTS = 100_000
 
+#: exported metric names (documented in docs/OBSERVABILITY.md)
+M_EVICTED = "repro_recorder_evicted_total"
+
 
 class FlightRecorder:
-    """Bounded in-memory event stream; see the module docstring."""
+    """Bounded in-memory event stream; see the module docstring.
+
+    ``process`` names this recorder's process row in merged Chrome traces
+    (``repro trace`` labels the client stream "Of" and the server stream
+    "Hf"; a standalone recorder defaults to "repro").
+    """
 
     enabled = True
 
-    def __init__(self, max_events=DEFAULT_MAX_EVENTS, clock=time.perf_counter):
+    def __init__(self, max_events=DEFAULT_MAX_EVENTS, clock=time.perf_counter,
+                 process="repro"):
         self.max_events = max_events
+        self.process = process
         self.events = collections.deque(maxlen=max_events)
         self.evicted = 0
         self.seq = 0
         self._clock = clock
         self._t0 = clock()
+        self._local = threading.local()
+        self._evicted_counter = None
+
+    def now_us(self):
+        """Microseconds since this recorder's epoch — the same timebase as
+        event ``ts_us``, so remote peers can exchange it for clock
+        alignment (docs/PROTOCOL.md, "Trace context")."""
+        return round((self._clock() - self._t0) * 1e6, 1)
+
+    @contextlib.contextmanager
+    def context(self, **fields):
+        """Tag every event recorded inside the ``with`` block (in this
+        thread) with ``fields`` — how the remote server stamps fragment
+        and span events with the incoming trace context."""
+        previous = getattr(self._local, "context", None)
+        merged = dict(previous) if previous else {}
+        merged.update(fields)
+        self._local.context = merged
+        try:
+            yield
+        finally:
+            self._local.context = previous
 
     def record(self, etype, **fields):
         """Append one event; evicts the oldest when the buffer is full."""
@@ -70,23 +114,57 @@ class FlightRecorder:
             "type": etype,
         }
         event.update(fields)
+        ctx = getattr(self._local, "context", None)
+        if ctx:
+            event.update(ctx)
         if self.events.maxlen is not None and len(self.events) == self.events.maxlen:
             self.evicted += 1
+            self._count_eviction()
         self.events.append(event)
         return event
 
+    def _count_eviction(self):
+        counter = self._evicted_counter
+        if counter is None:
+            # lazy: repro.obs imports this module, so the registry lookup
+            # must happen at runtime, not import time
+            from repro import obs
+
+            counter = self._evicted_counter = obs.get_registry().counter(
+                M_EVICTED,
+                help="flight-recorder events evicted by the bounded buffer",
+            )
+        counter.inc()
+
+    def stats(self):
+        """Buffer health for live exposition (``/metrics.json``): how much
+        was observed, retained, and silently dropped."""
+        return {
+            "max_events": self.max_events,
+            "seq": self.seq,
+            "evicted": self.evicted,
+            "buffered": len(self.events),
+        }
+
     # -- typed entry points (the instrumented layers call these) -----------
 
-    def channel(self, kind, fn, label, values, payload_bytes, sim_ms):
-        """One channel round trip — the adversary-observable unit."""
+    def channel(self, kind, fn, label, values, payload_bytes, sim_ms, **extra):
+        """One channel round trip — the adversary-observable unit.
+
+        ``extra`` carries the optional traced-run fields (``trace_id``,
+        ``cseq``, phase timings); untraced runs pass nothing, keeping the
+        golden key set."""
         return self.record(
             "channel", kind=kind, fn=fn, label=label, values=values,
-            bytes=payload_bytes, sim_ms=sim_ms,
+            bytes=payload_bytes, sim_ms=sim_ms, **extra,
         )
 
-    def fragment(self, fn, label, steps):
-        """One hidden fragment execution with its statement count."""
-        return self.record("fragment", fn=fn, label=label, steps=steps)
+    def fragment(self, fn, label, steps, wall_us=0.0):
+        """One hidden fragment execution with its statement count and
+        measured wall time (microseconds)."""
+        return self.record(
+            "fragment", fn=fn, label=label, steps=steps, wall_us=wall_us
+        )
 
     def span_open(self, name, depth):
         return self.record("span_open", name=name, depth=depth)
@@ -112,14 +190,25 @@ class NullRecorder:
     events = ()
     evicted = 0
     seq = 0
+    max_events = 0
+    process = "repro"
+
+    def now_us(self):
+        return 0.0
+
+    def context(self, **fields):
+        return contextlib.nullcontext()
+
+    def stats(self):
+        return {"max_events": 0, "seq": 0, "evicted": 0, "buffered": 0}
 
     def record(self, etype, **fields):
         return None
 
-    def channel(self, kind, fn, label, values, payload_bytes, sim_ms):
+    def channel(self, kind, fn, label, values, payload_bytes, sim_ms, **extra):
         return None
 
-    def fragment(self, fn, label, steps):
+    def fragment(self, fn, label, steps, wall_us=0.0):
         return None
 
     def span_open(self, name, depth):
@@ -148,32 +237,47 @@ def to_jsonl(recorder):
     )
 
 
-def to_chrome(recorder):
+def chrome_metadata(pid, process_name, thread_names):
+    """``M`` (metadata) events naming a process row and its threads, so
+    Perfetto shows labels instead of bare pids (docs/OBSERVABILITY.md)."""
+    meta = [{
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for tid, name in sorted(thread_names.items()):
+        meta.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+    return meta
+
+
+def to_chrome(recorder, pid=1):
     """The Chrome trace-event document for ``about://tracing``.
 
     Spans become ``B``/``E`` duration events (evicted opens may leave an
     unbalanced ``E`` at the front; the viewers tolerate that), channel and
     fragment events become thread-scoped instants carrying their fields as
-    ``args``.
+    ``args``.  ``M`` metadata events label the process row with the
+    recorder's ``process`` name.
     """
-    trace = []
+    trace = list(chrome_metadata(pid, recorder.process, {1: "events"}))
     for event in recorder.events:
         etype = event["type"]
         if etype == "span_open":
             trace.append({
                 "ph": "B", "name": event["name"], "cat": "phase",
-                "ts": event["ts_us"], "pid": 1, "tid": 1,
+                "ts": event["ts_us"], "pid": pid, "tid": 1,
             })
         elif etype == "span_close":
             trace.append({
                 "ph": "E", "name": event["name"], "cat": "phase",
-                "ts": event["ts_us"], "pid": 1, "tid": 1,
+                "ts": event["ts_us"], "pid": pid, "tid": 1,
                 "args": {"sim_ms": event["sim_ms"], "wall_s": event["wall_s"]},
             })
         else:
             name = (
-                "channel." + event["kind"] if etype == "channel"
-                else "fragment"
+                "channel." + event["kind"] if etype == "channel" else etype
             )
             args = {
                 k: v for k, v in event.items()
@@ -181,7 +285,7 @@ def to_chrome(recorder):
             }
             trace.append({
                 "ph": "i", "s": "t", "name": name, "cat": etype,
-                "ts": event["ts_us"], "pid": 1, "tid": 1, "args": args,
+                "ts": event["ts_us"], "pid": pid, "tid": 1, "args": args,
             })
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
 

@@ -81,8 +81,10 @@ def to_prometheus(registry):
     return "\n".join(lines) + "\n"
 
 
-def to_dict(registry, tracer=None):
-    """Structured snapshot: ``{"metrics": [...], "spans": {...}}``."""
+def to_dict(registry, tracer=None, recorder=None):
+    """Structured snapshot: ``{"metrics": [...], "spans": {...}}``, plus a
+    ``"recorder"`` block (buffer stats, :meth:`FlightRecorder.stats`) when
+    an enabled flight recorder is passed."""
     samples = []
     for metric in registry.collect():
         sample = {
@@ -111,14 +113,18 @@ def to_dict(registry, tracer=None):
     doc = {"metrics": samples}
     if tracer is not None:
         doc["spans"] = tracer.summary()
+    if recorder is not None and getattr(recorder, "enabled", False):
+        doc["recorder"] = recorder.stats()
     return doc
 
 
-def to_json(registry, tracer=None):
+def to_json(registry, tracer=None, recorder=None):
     """JSON text of :func:`to_dict` (stable key order)."""
-    return json.dumps(to_dict(registry, tracer), indent=2, sort_keys=True)
+    return json.dumps(
+        to_dict(registry, tracer, recorder), indent=2, sort_keys=True
+    )
 
 
-def write_json(path, registry, tracer=None):
+def write_json(path, registry, tracer=None, recorder=None):
     with open(path, "w") as f:
-        f.write(to_json(registry, tracer) + "\n")
+        f.write(to_json(registry, tracer, recorder) + "\n")

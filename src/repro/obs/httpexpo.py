@@ -37,9 +37,11 @@ class ExpositionServer:
     """Serves the active registry/tracer on ``host:port`` (port 0 picks an
     ephemeral port; read :attr:`address` for the bound one)."""
 
-    def __init__(self, registry, tracer=None, host="127.0.0.1", port=0):
+    def __init__(self, registry, tracer=None, host="127.0.0.1", port=0,
+                 recorder=None):
         self.registry = registry
         self.tracer = tracer
+        self.recorder = recorder
         expo = self
 
         class Handler(http.server.BaseHTTPRequestHandler):
@@ -77,7 +79,9 @@ class ExpositionServer:
             body = export.to_prometheus(self.registry)
             self._reply(request, 200, CONTENT_TYPE_PROMETHEUS, body)
         elif path == "/metrics.json":
-            body = export.to_json(self.registry, self.tracer) + "\n"
+            body = export.to_json(
+                self.registry, self.tracer, self.recorder
+            ) + "\n"
             self._reply(request, 200, CONTENT_TYPE_JSON, body)
         elif path == "/healthz":
             self._reply(request, 200, CONTENT_TYPE_TEXT, "ok\n")

@@ -31,6 +31,12 @@ SIM_MS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 50.0)
 #: buckets for messages coalesced per batch flush
 BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
+#: buckets for measured round-trip phase durations in seconds (--trace);
+#: loopback round trips sit in the tens-of-microseconds range, LAN ones
+#: in the hundreds, so the grid is much finer than DEFAULT_BUCKETS
+RT_PHASE_BUCKETS = (0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005,
+                    0.01, 0.05, 0.1, 0.5)
+
 
 class Counter:
     """Monotonically increasing value (float increments allowed)."""

@@ -40,6 +40,11 @@ class Span:
         self._tracer = tracer
 
     def __enter__(self):
+        # the span joins the open-span stack only once it actually starts:
+        # a Span created but never entered must not absorb add_sim_ms
+        # charges (that skew made summary()'s sim_ms depend on the entry
+        # point; see tests/test_obs.py golden-schema tests)
+        self._tracer._stack.append(self)
         self._t0 = time.perf_counter()
         recorder = self._tracer.recorder
         if recorder is not None:
@@ -79,10 +84,11 @@ class Tracer:
 
     def span(self, name, **attrs):
         """Context manager for a timed region; nests via the open-span
-        stack.  Simulated time charged while it is open accrues to it."""
-        s = Span(name, attrs, tracer=self, depth=len(self._stack))
-        self._stack.append(s)
-        return s
+        stack.  Simulated time charged while it is open accrues to it.
+        The span enters the stack at ``__enter__``, not creation, so both
+        entry points (``with tracer.span(...)`` and :meth:`emit`) account
+        wall and simulated time identically."""
+        return Span(name, attrs, tracer=self, depth=len(self._stack))
 
     def emit(self, name, sim_ms=0.0, **attrs):
         """Record an instantaneous event span (e.g. one channel round
@@ -98,8 +104,10 @@ class Tracer:
             self._stack[-1].sim_ms += ms
 
     def _finish(self, span, record_phase):
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        if span in self._stack:
+            # normally the top of stack; removing by identity also heals
+            # out-of-order closes instead of corrupting later accounting
+            self._stack.remove(span)
             # parent phases subsume their children's simulated time
             if self._stack:
                 self._stack[-1].sim_ms += span.sim_ms

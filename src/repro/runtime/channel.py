@@ -23,7 +23,12 @@ round trip additionally lands in the bounded per-event stream that
 """
 
 from repro import obs
-from repro.obs.metrics import BATCH_BUCKETS, BYTE_BUCKETS, SIM_MS_BUCKETS
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    BYTE_BUCKETS,
+    RT_PHASE_BUCKETS,
+    SIM_MS_BUCKETS,
+)
 
 #: exported metric names (documented in docs/OBSERVABILITY.md)
 M_ROUND_TRIPS = "repro_channel_round_trips_total"
@@ -33,10 +38,31 @@ M_RTT_SIM_MS = "repro_channel_rtt_simulated_ms"
 M_SIM_MS = "repro_channel_simulated_ms_total"
 M_BATCH_SIZE = "repro_channel_batch_size"
 M_COALESCED = "repro_channel_coalesced_total"
+M_RT_PHASE = "repro_rt_phase_seconds"
+
+#: the measured round-trip phases a traced remote run decomposes into
+#: (docs/OBSERVABILITY.md, "Distributed tracing & latency attribution")
+RT_PHASES = ("serialize", "wire", "exec", "deser")
 
 #: modelled wire size: fixed header plus 8 bytes per scalar carried
 _HEADER_BYTES = 16
 _VALUE_BYTES = 8
+
+
+def _trace_fields(phases, trace):
+    """Extra recorder fields for a traced remote round trip: the trace
+    context and the measured per-phase timings in microseconds.  Empty —
+    schema-identical to the seed — when tracing is off."""
+    extra = {}
+    if trace is not None:
+        extra["trace_id"], extra["cseq"] = trace
+    if phases is not None:
+        extra["ser_us"] = round(phases["serialize"] * 1e6, 1)
+        extra["wire_us"] = round(phases["wire"] * 1e6, 1)
+        extra["exec_us"] = round(phases["exec"] * 1e6, 1)
+        extra["deser_us"] = round(phases["deser"] * 1e6, 1)
+        extra["rt_us"] = round(phases["total"] * 1e6, 1)
+    return extra
 
 
 class LatencyModel:
@@ -196,11 +222,14 @@ class Channel:
         """
         self._pending.append((kind, hid, fn_name, label, tuple(sent)))
 
-    def flush_deferred(self):
+    def flush_deferred(self, phases=None, trace=None):
         """Flush buffered one-way messages as one ``batch`` round trip.
 
         No-op when nothing is pending.  Returns the number of messages
-        coalesced into the flush.
+        coalesced into the flush.  ``phases``/``trace`` carry the measured
+        wire timings and trace context of a traced remote flush
+        (docs/PROTOCOL.md); simulated runs leave them ``None``, keeping
+        the recorded event schema bit-identical to the seed.
         """
         pending = self._pending
         if not pending:
@@ -216,10 +245,13 @@ class Channel:
         self.simulated_ms += cost_ms
         if self._registry is not None:
             self._record_batch_metrics(pending, merged, cost_ms)
+            if phases is not None:
+                self._record_phase_metrics(phases)
         if self._recorder is not None:
             self._recorder.channel(
                 "batch", "-", "-", len(merged),
                 _HEADER_BYTES + _VALUE_BYTES * len(merged), cost_ms,
+                **_trace_fields(phases, trace),
             )
         if self.record:
             self.transcript.append(
@@ -228,7 +260,8 @@ class Channel:
             )
         return len(pending)
 
-    def round_trip(self, kind, hid, fn_name, label, sent, result):
+    def round_trip(self, kind, hid, fn_name, label, sent, result,
+                   phases=None, trace=None):
         if self._pending:
             self.flush_deferred()
         self.interactions += 1
@@ -239,11 +272,14 @@ class Channel:
         self.simulated_ms += cost_ms
         if self._registry is not None:
             self._record_metrics(kind, fn_name, label, sent, result, cost_ms)
+            if phases is not None:
+                self._record_phase_metrics(phases)
         if self._recorder is not None:
             carried = len(sent) + (0 if result is None else 1)
             self._recorder.channel(
                 kind, fn_name or "-", "-" if label is None else str(label),
                 carried, _HEADER_BYTES + _VALUE_BYTES * carried, cost_ms,
+                **_trace_fields(phases, trace),
             )
         if self.record:
             self.transcript.append(
@@ -251,6 +287,15 @@ class Channel:
                       result, cost_ms)
             )
         return result
+
+    def _record_phase_metrics(self, phases):
+        for phase in RT_PHASES:
+            self._registry.histogram(
+                M_RT_PHASE,
+                help="measured round-trip phase durations (--trace)",
+                buckets=RT_PHASE_BUCKETS,
+                phase=phase,
+            ).observe(phases[phase])
 
     def _record_metrics(self, kind, fn_name, label, sent, result, cost_ms):
         registry = self._registry

@@ -21,6 +21,7 @@ standalone process.
 
 import contextlib
 import json
+import os
 import socket
 import threading
 import time
@@ -84,7 +85,7 @@ def _send(wfile, payload):
     wfile.flush()
 
 
-def _recv(rfile):
+def _readline(rfile):
     try:
         line = rfile.readline()
     except socket.timeout:
@@ -93,10 +94,57 @@ def _recv(rfile):
         raise ChannelError("connection failed: %s" % exc)
     if not line:
         raise ChannelError("connection closed")
+    return line
+
+
+def _parse_frame(line):
     try:
         return json.loads(line.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise ChannelProtocolError("malformed frame: %s" % exc)
+
+
+def _recv(rfile):
+    return _parse_frame(_readline(rfile))
+
+
+def _new_trace_id():
+    """A fresh 64-bit trace id, hex-encoded (one per traced client run)."""
+    return os.urandom(8).hex()
+
+
+def _frame_tc(msg):
+    """The ``tc`` trace context of a frame as ``(trace_id, cseq)``, or
+    ``None`` when absent/malformed (old peers, untraced clients)."""
+    tc = msg.get("tc")
+    if isinstance(tc, (list, tuple)) and len(tc) == 2:
+        return tc[0], tc[1]
+    return None
+
+
+def _phase_split(t0, t_sent, t_line, t_parsed, echoed_us):
+    """Decompose one round trip into its four phases, in seconds.
+
+    ``serialize`` is dump + write, ``deser`` the reply parse, ``exec``
+    the server-echoed processing time, and ``wire`` the rest of the
+    measured wall time.  The echoed duration is clamped to the window
+    the client actually spent waiting: on a loopback/in-process peer the
+    server can start dispatching before ``_send`` even returns (the
+    bytes hit the wire at the flush syscall, mid-serialize), and an
+    unclamped echo would double-count that overlap.  After the clamp
+    the four phases sum to ``total`` exactly, by construction."""
+    ser_s = t_sent - t0
+    deser_s = t_parsed - t_line
+    total_s = t_parsed - t0
+    budget_s = max(0.0, total_s - ser_s - deser_s)
+    try:
+        exec_s = min(float(echoed_us) / 1e6, budget_s)
+    except (TypeError, ValueError):
+        exec_s = 0.0
+    return {
+        "serialize": ser_s, "wire": budget_s - exec_s, "exec": exec_s,
+        "deser": deser_s, "total": total_s,
+    }
 
 
 def _deferrable_labels(registry):
@@ -164,13 +212,13 @@ class HiddenComponentServer:
 
     def __init__(self, registry, hidden_globals=None, hidden_field_classes=None,
                  host="127.0.0.1", port=0, engine=DEFAULT_ENGINE):
-        self._make_inner = lambda: HiddenServer(
+        self._make_inner = lambda: self._pin_recorder(HiddenServer(
             registry,
             Channel(LatencyModel.instant(), record=False),
             hidden_globals=dict(hidden_globals or {}),
             hidden_field_classes=dict(hidden_field_classes or {}),
             engine=engine,
-        )
+        ))
         self.hidden_field_classes = dict(hidden_field_classes or {})
         self._deferrable = _deferrable_labels(registry)
         self._sock = socket.create_server((host, port))
@@ -178,6 +226,27 @@ class HiddenComponentServer:
         self._stop = threading.Event()
         metrics = obs.get_registry()
         self._metrics = metrics if metrics.enabled else None
+        recorder = obs.get_recorder()
+        self._recorder = recorder if recorder.enabled else None
+        # clock-sync fallback epoch when no flight recorder is active: the
+        # trace handshake still answers with a consistent local timebase
+        self._t0 = time.perf_counter()
+
+    def _now_us(self):
+        """Microseconds on this server's event timebase — the recorder's
+        epoch when one is active (so the exchanged epoch aligns with the
+        server's ``--log-events`` stream), a local epoch otherwise."""
+        if self._recorder is not None:
+            return self._recorder.now_us()
+        return round((time.perf_counter() - self._t0) * 1e6, 1)
+
+    def _pin_recorder(self, inner):
+        """Inner hidden servers are created at accept time, when (in the
+        in-process ``remote_server`` setup) the *client's* telemetry scope
+        may be active; their fragment events belong to this server's
+        stream, pinned at construction."""
+        inner._recorder = self._recorder
+        return inner
 
     def serve_forever(self):
         """Accept clients until :meth:`shutdown`; one thread per client,
@@ -229,6 +298,7 @@ class HiddenComponentServer:
                 },
             },
         )
+        recorder = self._recorder
         try:
             while True:
                 try:
@@ -237,14 +307,45 @@ class HiddenComponentServer:
                     # closed, reset, or unparseable: drop the session — the
                     # client cannot be answered coherently any more
                     return
-                try:
-                    result = self._dispatch(inner, msg, rfile, wfile)
-                except RuntimeErr as exc:
-                    _send(wfile, {"error": str(exc)})
-                    continue
+                tc = _frame_tc(msg)
+                op = str(msg.get("op"))
+                t0 = time.perf_counter()
+                # tag everything recorded while dispatching (fragment
+                # events, spans, the recv/send pair below) with the
+                # incoming trace context
+                ctx = (
+                    recorder.context(trace_id=tc[0], cseq=tc[1])
+                    if recorder is not None and tc is not None
+                    else contextlib.nullcontext()
+                )
+                with ctx:
+                    if recorder is not None:
+                        recorder.record("server_recv", op=op)
+                    try:
+                        result = self._dispatch(inner, msg, rfile, wfile,
+                                                recorder)
+                    except RuntimeErr as exc:
+                        if recorder is not None:
+                            recorder.record(
+                                "server_send", op=op, ok=False,
+                                exec_us=round(
+                                    (time.perf_counter() - t0) * 1e6, 1),
+                            )
+                        _send(wfile, {"error": str(exc)})
+                        continue
+                    exec_us = round((time.perf_counter() - t0) * 1e6, 1)
+                    if recorder is not None:
+                        recorder.record("server_send", op=op, ok=True,
+                                        exec_us=exec_us)
                 if result == "bye":
                     return
-                _send(wfile, {"result": result})
+                reply = {"result": result}
+                if tc is not None:
+                    # echo the server-side processing time so the client
+                    # can subtract it out of the wire+queue phase — a
+                    # duration, so no clock alignment is needed
+                    reply["t"] = exec_us
+                _send(wfile, reply)
         finally:
             if self._metrics is not None:
                 self._metrics.gauge(
@@ -253,7 +354,7 @@ class HiddenComponentServer:
             with contextlib.suppress(OSError):
                 conn.close()
 
-    def _dispatch(self, inner, msg, rfile, wfile):
+    def _dispatch(self, inner, msg, rfile, wfile, recorder=None):
         op = msg.get("op")
         if op == "open":
             receiver = _Oid(msg["oid"]) if msg.get("oid") is not None else None
@@ -272,7 +373,12 @@ class HiddenComponentServer:
         if op == "hello":
             # the client declares its options; batching turns on the
             # server-side half (prefetch manifests -> fetch_batch callbacks)
-            inner.batching = bool(msg.get("batching", False))
+            if "batching" in msg:
+                inner.batching = bool(msg["batching"])
+            if isinstance(msg.get("trace"), dict):
+                # trace handshake: exchange recorder epochs so the two
+                # event streams can be clock-aligned (docs/PROTOCOL.md)
+                return {"ok": True, "epoch_us": self._now_us()}
             return "ok"
         if op == "batch":
             # coalesced one-way messages: dispatch in order, answer once.
@@ -283,7 +389,13 @@ class HiddenComponentServer:
             for sub in msg.get("msgs", []):
                 if sub.get("op") == "batch":
                     raise RuntimeErr("batch frames do not nest")
-                self._dispatch(inner, sub, rfile, wfile)
+                if recorder is not None:
+                    # one recv event per coalesced sub-op, so every message
+                    # folded into the batch frame stays attributable (the
+                    # batch's trace context is applied by the caller)
+                    recorder.record("server_recv", op=str(sub.get("op")),
+                                    sub=executed)
+                self._dispatch(inner, sub, rfile, wfile, recorder)
                 executed += 1
             return executed
         raise RuntimeErr("unknown op %r" % op)
@@ -311,15 +423,35 @@ class RemoteHiddenRuntime:
     and forget, await at the first dependent receive" pipelining of
     docs/PROTOCOL.md.  Errors from a deferred message surface at that
     synchronisation point rather than at the original call site.
+
+    With ``trace=True`` every frame the client originates is stamped with
+    a trace context ``tc: [trace_id, cseq]`` and an uncounted ``hello``
+    exchanges recorder epochs for clock alignment; each answered request
+    is decomposed into measured phases (serialize / wire+queue / server
+    execution / reply deserialize) recorded on the channel event and the
+    ``repro_rt_phase_seconds`` histogram.  Off by default — untraced runs
+    are bit-identical to the seed on the wire and in every account
+    (docs/PROTOCOL.md, "Trace context").
     """
 
-    def __init__(self, address, channel=None, batching=False, policy=None):
+    def __init__(self, address, channel=None, batching=False, policy=None,
+                 trace=False, trace_id=None):
         self.channel = channel or Channel(LatencyModel.instant(), record=True)
         self.batching = batching
         self.policy = policy or ConnectionPolicy()
+        self.trace = bool(trace)
+        # the id is fixed before connecting, so it survives the connection
+        # policy's reconnect attempts (one logical run = one trace)
+        self.trace_id = trace_id or (_new_trace_id() if trace else None)
+        self.clock_sync = None
+        self._tseq = 0
         self._outbox = []
         self._hid_fn = {}  # hid -> fn_id, to look up deferrable labels
+        recorder = obs.get_recorder()
+        self._recorder = recorder if recorder.enabled else None
         self._connect(address)
+        if self.trace:
+            self._trace_handshake()
         if batching:
             self._request({"op": "hello", "batching": True}, access=None,
                           kind="open", sent=())
@@ -374,7 +506,7 @@ class RemoteHiddenRuntime:
     def close(self):
         with contextlib.suppress(OSError, RuntimeErr):
             self._flush_outbox()
-            _send(self._wfile, {"op": "shutdown"})
+            _send(self._wfile, self._stamp({"op": "shutdown"}))
         with contextlib.suppress(OSError):
             self._sock.close()
 
@@ -418,6 +550,57 @@ class RemoteHiddenRuntime:
 
     # -- plumbing --------------------------------------------------------------
 
+    def _stamp(self, payload):
+        """Stamp an originated frame with the trace context; no-op (and no
+        wire change) when tracing is off."""
+        if self.trace:
+            self._tseq += 1
+            payload["tc"] = [self.trace_id, self._tseq]
+        return payload
+
+    def _trace_handshake(self):
+        """Exchange recorder epochs with the server over an uncounted
+        ``hello`` frame (docs/PROTOCOL.md, "Trace context").
+
+        The server's reply carries its event-timebase ``epoch_us``; the
+        offset maps server timestamps onto the client timeline assuming
+        the reply was struck at the round trip's midpoint, so the skew
+        bound is half the handshake round trip.  Deliberately *not* routed
+        through the channel: instrumentation must not perturb the very
+        accounting it attributes, so traced runs keep seed-identical
+        transcripts and round-trip counts.  An old server that rejects the
+        frame degrades gracefully (context stamping still works; the
+        merged timeline just stays unaligned)."""
+        recorder = self._recorder
+        send_us = recorder.now_us() if recorder is not None else 0.0
+        w0 = time.perf_counter()
+        _send(self._wfile, self._stamp(
+            {"op": "hello", "trace": {"id": self.trace_id, "t": send_us}}
+        ))
+        reply = _recv(self._rfile)
+        elapsed_us = (time.perf_counter() - w0) * 1e6
+        recv_us = (
+            recorder.now_us() if recorder is not None
+            else round(send_us + elapsed_us, 1)
+        )
+        result = reply.get("result")
+        server_us = (
+            result.get("epoch_us") if isinstance(result, dict) else None
+        )
+        offset_us = None
+        if server_us is not None:
+            offset_us = round((send_us + recv_us) / 2.0 - server_us, 1)
+        self.clock_sync = {
+            "send_us": send_us,
+            "recv_us": recv_us,
+            "server_us": server_us,
+            "offset_us": offset_us,
+            "skew_bound_us": round((recv_us - send_us) / 2.0, 1),
+        }
+        if recorder is not None:
+            recorder.record("trace_sync", trace_id=self.trace_id,
+                            **self.clock_sync)
+
     def _defer(self, payload, kind, hid, sent, label=None):
         self._outbox.append(payload)
         self.channel.defer(kind, hid, "-", label, sent)
@@ -430,24 +613,76 @@ class RemoteHiddenRuntime:
         if not self._outbox:
             return
         msgs, self._outbox = self._outbox, []
-        _send(self._wfile, {"op": "batch", "msgs": msgs})
-        self.channel.flush_deferred()
-        reply = _recv(self._rfile)
+        payload = self._stamp({"op": "batch", "msgs": msgs})
+        if not self.trace:
+            _send(self._wfile, payload)
+            self.channel.flush_deferred()
+            reply = _recv(self._rfile)
+            if "error" in reply:
+                raise RuntimeErr(
+                    "hidden server (deferred): %s" % reply["error"])
+            return
+        reply, phases = self._timed_exchange(payload)
+        self.channel.flush_deferred(
+            phases=phases, trace=(self.trace_id, self._tseq))
         if "error" in reply:
             raise RuntimeErr("hidden server (deferred): %s" % reply["error"])
 
+    def _timed_exchange(self, payload):
+        """Send one frame and read its direct reply, measuring the phase
+        decomposition: serialize (dump + write), wire+queue, server
+        execution (the reply's ``t`` field), and reply deserialize
+        (parse).  The four phases sum to the measured wall time by
+        construction — see :func:`_phase_split`."""
+        t0 = time.perf_counter()
+        _send(self._wfile, payload)
+        t_sent = time.perf_counter()
+        line = _readline(self._rfile)
+        t_line = time.perf_counter()
+        msg = _parse_frame(line)
+        t_parsed = time.perf_counter()
+        return msg, _phase_split(t0, t_sent, t_line, t_parsed,
+                                 msg.get("t", 0.0))
+
     def _request(self, payload, access, kind, sent, label=None):
         self._flush_outbox()
+        self._stamp(payload)
+        if not self.trace:
+            _send(self._wfile, payload)
+            while True:
+                msg = _recv(self._rfile)
+                if "cb" in msg:
+                    self._answer_callback(msg, access)
+                    continue
+                if "error" in msg:
+                    raise RuntimeErr("hidden server: %s" % msg["error"])
+                result = msg.get("result")
+                self.channel.round_trip(kind, payload.get("hid"), "-", label,
+                                        sent, result)
+                return result
+        # traced: measure the phases around the answered frame; callback
+        # servicing happens inside the server's echoed execution time, so
+        # the decomposition still covers the whole round trip
+        t0 = time.perf_counter()
         _send(self._wfile, payload)
+        t_sent = time.perf_counter()
         while True:
-            msg = _recv(self._rfile)
+            line = _readline(self._rfile)
+            t_line = time.perf_counter()
+            msg = _parse_frame(line)
             if "cb" in msg:
                 self._answer_callback(msg, access)
                 continue
             if "error" in msg:
                 raise RuntimeErr("hidden server: %s" % msg["error"])
+            t_parsed = time.perf_counter()
             result = msg.get("result")
-            self.channel.round_trip(kind, payload.get("hid"), "-", label, sent, result)
+            self.channel.round_trip(
+                kind, payload.get("hid"), "-", label, sent, result,
+                phases=_phase_split(t0, t_sent, t_line, t_parsed,
+                                    msg.get("t", 0.0)),
+                trace=(self.trace_id, self._tseq),
+            )
             return result
 
     def _answer_callback(self, msg, access):
@@ -468,7 +703,8 @@ class RemoteHiddenRuntime:
                 value = None
             elif cb == "fetch_batch":
                 values = access.fetch_batch(msg["items"])
-                self.channel.round_trip("cb_batch", None, "-", None, (), None)
+                self.channel.round_trip("cb_batch", None, "-", None, (), None,
+                                        trace=self._cb_trace())
                 _send(self._wfile, {"values": values})
                 return
             else:
@@ -477,8 +713,14 @@ class RemoteHiddenRuntime:
         except RuntimeErr as exc:
             _send(self._wfile, {"error": str(exc)})
             return
-        self.channel.round_trip("cb_" + cb.split("_")[0], None, "-", None, (), value)
+        self.channel.round_trip("cb_" + cb.split("_")[0], None, "-", None, (),
+                                value, trace=self._cb_trace())
         _send(self._wfile, {"value": value})
+
+    def _cb_trace(self):
+        """Callbacks belong to the in-flight request: tag their channel
+        events with its context so attribution can fold them in."""
+        return (self.trace_id, self._tseq) if self.trace else None
 
 
 @contextlib.contextmanager
@@ -501,17 +743,26 @@ def remote_server(split_program):
 
 def run_split_remote(split_program, address, entry="main", args=(),
                      max_steps=20_000_000, batching=False, policy=None,
-                     engine=DEFAULT_ENGINE):
+                     engine=DEFAULT_ENGINE, trace=False):
     """Run the open component locally against a hidden component served at
     ``address``; returns a :class:`RunResult` whose channel counted the
-    real network round trips."""
-    runtime = RemoteHiddenRuntime(address, batching=batching, policy=policy)
+    real network round trips.
+
+    With ``trace=True`` (``--trace``) the run carries distributed-tracing
+    context and per-phase latency measurements (docs/OBSERVABILITY.md);
+    the result grows a ``trace_sync`` attribute with the clock-alignment
+    handshake outcome.  Accounting stays bit-identical either way."""
+    runtime = RemoteHiddenRuntime(address, batching=batching, policy=policy,
+                                  trace=trace)
     try:
         interp = Interpreter(
             split_program.program, hidden_runtime=runtime, max_steps=max_steps,
             engine=engine,
         )
         value = interp.run(entry, args)
-        return RunResult(value, interp.output, interp.steps, 0, runtime.channel)
+        result = RunResult(value, interp.output, interp.steps, 0,
+                           runtime.channel)
+        result.trace_sync = runtime.clock_sync
+        return result
     finally:
         runtime.close()

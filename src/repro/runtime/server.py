@@ -15,6 +15,8 @@ inputs "varying ... in each iteration a different array element was being
 sent to the hidden side".
 """
 
+import time
+
 from repro import obs
 from repro.obs.metrics import STEP_BUCKETS
 from repro.lang import ast
@@ -216,6 +218,7 @@ class HiddenServer:
         registry = self._registry
         stmt_counts = {} if registry is not None else None
         steps_before = self.steps
+        wall_t0 = time.perf_counter() if self._recorder is not None else 0.0
         stmt_prefetch, result_reads = None, ()
         if (
             self.batching
@@ -264,7 +267,8 @@ class HiddenServer:
                 )
             if self._recorder is not None:
                 self._recorder.fragment(
-                    fn_name, str(label), self.steps - steps_before
+                    fn_name, str(label), self.steps - steps_before,
+                    wall_us=round((time.perf_counter() - wall_t0) * 1e6, 1),
                 )
         if self.batching and self._is_deferrable(fragment):
             self.channel.defer("call", hid, fn_name, label, values)

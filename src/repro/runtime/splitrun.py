@@ -36,6 +36,9 @@ class RunResult:
         self.steps_open = steps_open
         self.steps_hidden = steps_hidden
         self.channel = channel
+        #: clock-alignment outcome of a traced remote run (see
+        #: :func:`repro.runtime.remote.run_split_remote`); None otherwise
+        self.trace_sync = None
 
     @property
     def interactions(self):

@@ -1,6 +1,7 @@
 """CLI tests (``python -m repro ...``)."""
 
 import io
+import json
 
 import pytest
 
@@ -284,7 +285,8 @@ def test_run_split_log_events_chrome_format(prog_file, tmp_path):
     assert code == 0
     doc = json.loads(open(path).read())
     assert doc["traceEvents"]
-    assert {e["ph"] for e in doc["traceEvents"]} == {"B", "E", "i"}
+    # M rows name the process/threads; B/E spans and i instants carry data
+    assert {e["ph"] for e in doc["traceEvents"]} == {"M", "B", "E", "i"}
 
 
 def test_stats_log_events_flag(prog_file, tmp_path):
@@ -308,3 +310,77 @@ def test_lint_split_quality(tmp_path):
     code, out = run_cli(["lint", str(path), "--split"])
     assert code == 1
     assert "weak-protection" in out
+
+
+# -- distributed tracing (docs/OBSERVABILITY.md) -----------------------------
+
+
+def test_run_split_trace_requires_remote(prog_file):
+    code, out = run_cli(["run-split", prog_file, "--args", "2", "3",
+                         "--trace"])
+    assert code == 2
+    assert "--trace requires --remote" in out
+
+
+def test_run_split_remote_trace_end_to_end(prog_file, tmp_path):
+    from repro.core.program import split_program
+    from repro.lang import check_program, parse_program
+    from repro.runtime.remote import remote_server
+
+    # serve the same split the CLI will select with --function/--var
+    program = parse_program(SOURCE)
+    sp = split_program(program, check_program(program), [("f", "a")])
+    client_log = str(tmp_path / "client.jsonl")
+    with remote_server(sp) as (host, port):
+        code, out = run_cli(
+            ["run-split", prog_file, "--args", "2", "3",
+             "--function", "f", "--var", "a",
+             "--remote", "%s:%d" % (host, port), "--trace",
+             "--log-events", client_log]
+        )
+    assert code == 0
+    assert "real round trips" in out
+    assert "[traced; clock offset" in out
+
+    merged = str(tmp_path / "merged.json")
+    code, out = run_cli(["trace", client_log, "--out", merged])
+    assert code == 0
+    assert "Round-trip latency attribution (us)" in out
+    import re
+
+    explained = float(re.search(r"phases explain: ([\d.]+)%", out).group(1))
+    assert explained == pytest.approx(100.0, abs=0.5)  # per-field rounding
+    doc = json.load(open(merged))
+    assert doc["otherData"]["aligned"] is True
+
+
+def test_trace_cli_committed_example(tmp_path):
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    client = str(root / "examples/traces/dotproduct.client.jsonl")
+    server = str(root / "examples/traces/dotproduct.server.jsonl")
+    merged = str(tmp_path / "merged.json")
+    code, out = run_cli(["trace", client, server, "--out", merged])
+    assert code == 0
+    assert "wrote %s" % merged in out
+    assert "clocks unaligned" not in out
+    assert "Round-trip latency attribution (us)" in out
+
+    code, out = run_cli(["trace", client, server, "--format", "json"])
+    assert code == 0
+    report = json.loads(out)
+    assert report["overall"]["round_trips"] > 0
+    assert report["overall"]["coverage_pct"] == pytest.approx(100.0, abs=0.1)
+
+
+def test_trace_cli_untraced_stream_notice(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(
+        '{"seq": 1, "ts_us": 1.0, "type": "channel", "kind": "call", '
+        '"fn": 0, "label": 1, "values": 1, "bytes": 10, "sim_ms": 0.1}\n'
+    )
+    code, out = run_cli(["trace", str(path)])
+    assert code == 0
+    assert "no traced round trips" in out
+    assert "--trace" in out

@@ -189,3 +189,58 @@ def test_serve_sigterm_flushes_telemetry(tmp_path):
     doc = json.loads(open(metrics_path).read())
     assert "metrics" in doc
     assert os.path.exists(events_path)
+
+
+# -- recorder visibility and the tracer summary schema -----------------------
+
+
+def test_metrics_json_includes_recorder_block():
+    """Eviction visibility (docs/OBSERVABILITY.md): a live server given a
+    flight recorder reports the buffer's health in /metrics.json."""
+    from repro.obs.events import FlightRecorder
+
+    registry = Registry()
+    tracer = Tracer(registry=registry)
+    recorder = FlightRecorder(max_events=2)
+    for _ in range(3):
+        recorder.record("fragment", fn=0, label=0, steps=1)
+    server = ExpositionServer(registry, tracer, recorder=recorder)
+    server.start()
+    try:
+        _, _, body = _fetch(server.address, "/metrics.json")
+    finally:
+        server.stop()
+    doc = json.loads(body)
+    assert doc["recorder"] == {
+        "max_events": 2, "seq": 3, "evicted": 1, "buffered": 2,
+    }
+
+
+def test_export_omits_recorder_block_when_absent():
+    from repro.obs.events import NULL_RECORDER
+
+    registry = Registry()
+    doc = json.loads(export.to_json(registry, None, None))
+    assert "recorder" not in doc
+    # a disabled recorder must not fabricate an all-zero block either
+    doc = json.loads(export.to_json(registry, None, NULL_RECORDER))
+    assert "recorder" not in doc
+
+
+def test_spans_summary_golden_schema(live_server):
+    """The /spans document (= Tracer.summary()) is a stable interface:
+    {name: {count, wall_s, sim_ms}} with wall measured and sim additive."""
+    server, _, tracer = live_server
+    with tracer.span("outer"):
+        tracer.add_sim_ms(2.5)
+    _, _, body = _fetch(server.address, "/spans")
+    doc = json.loads(body)
+    assert set(doc) >= {"phase", "outer"}
+    for name, row in doc.items():
+        assert set(row) == {"count", "wall_s", "sim_ms"}
+        assert row["count"] >= 1
+        assert row["wall_s"] >= 0.0
+    assert doc["outer"]["sim_ms"] == 2.5
+    # and the exported JSON document carries the identical summary
+    exported = json.loads(export.to_json(server.registry, tracer))
+    assert exported["spans"] == doc

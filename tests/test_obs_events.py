@@ -41,7 +41,7 @@ func void main(int x) {
 GOLDEN_KEYS = {
     "channel": {"seq", "ts_us", "type", "kind", "fn", "label", "values",
                 "bytes", "sim_ms"},
-    "fragment": {"seq", "ts_us", "type", "fn", "label", "steps"},
+    "fragment": {"seq", "ts_us", "type", "fn", "label", "steps", "wall_us"},
     "span_open": {"seq", "ts_us", "type", "name", "depth"},
     "span_close": {"seq", "ts_us", "type", "name", "depth", "wall_s",
                    "sim_ms"},
@@ -204,4 +204,5 @@ def test_chrome_handles_evicted_span_opens():
     rec.span_close("phase", 0, 0.001, 0.0)  # the open has been evicted
     doc = to_chrome(rec)
     phs = [e["ph"] for e in doc["traceEvents"]]
-    assert phs == ["i", "E"]
+    # two metadata rows (process + thread name), then the surviving events
+    assert phs == ["M", "M", "i", "E"]

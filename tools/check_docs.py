@@ -12,7 +12,8 @@ Two failure modes that rot silently:
 3. **Stale CLI surface** — docs/OBSERVABILITY.md citing an HTTP endpoint
    the exposition server does not route (``ROUTES`` in
    ``src/repro/obs/httpexpo.py``) or a ``--flag`` no ``add_argument``
-   in ``src/repro/cli.py`` defines.
+   in ``src/repro/cli.py`` defines; any doc invoking a ``repro <sub>``
+   subcommand no ``add_parser`` registers.
 
 Exit status 0 when clean, 1 with a findings listing otherwise.  No
 dependencies beyond the standard library, so it runs anywhere::
@@ -44,6 +45,12 @@ _ROUTE_DEF = re.compile(r'"(/[a-z][a-z.]*)"')
 _FLAG_USE = re.compile(r"(--[a-z][a-z-]+)\b")
 #: long options the CLI defines
 _FLAG_DEF = re.compile(r'add_argument\(\s*\n?\s*"(--[a-z][a-z-]+)"')
+#: subcommand mentions in docs: fenced ``python -m repro trace ...``
+#: invocations and backticked `repro trace` references (a bare "repro"
+#: in prose or a Python import never matches)
+_SUBCOMMAND_USE = re.compile(r"(?:python -m repro|`repro) ([a-z][a-z0-9-]+)")
+#: subcommands the CLI defines
+_SUBCOMMAND_DEF = re.compile(r'add_parser\(\s*\n?\s*"([a-z][a-z0-9-]+)"')
 
 
 def _rel(path):
@@ -102,6 +109,22 @@ def defined_flags():
     return set(_FLAG_DEF.findall(source))
 
 
+def defined_subcommands():
+    source = (REPO / "src/repro/cli.py").read_text(encoding="utf-8")
+    return set(_SUBCOMMAND_DEF.findall(source))
+
+
+def check_subcommands(path, text, subcommands, errors):
+    """Every ``repro <sub>`` invocation a doc shows must be a subcommand
+    the CLI parser actually registers."""
+    for name in sorted(set(_SUBCOMMAND_USE.findall(text))):
+        if name not in subcommands:
+            errors.append(
+                "%s: unknown subcommand 'repro %s' (no add_parser defines it)"
+                % (_rel(path), name)
+            )
+
+
 def check_cli_surface(path, text, routes, flags, errors, repro_lines_only=False):
     """The worked examples in docs/OBSERVABILITY.md and docs/TESTING.md
     name endpoints and CLI flags; both must exist in the source they
@@ -135,8 +158,9 @@ def main():
         return 1
     routes = defined_routes()
     flags = defined_flags()
-    if not routes or not flags:
-        print("check_docs: found no routes/flags in src/ — "
+    subcommands = defined_subcommands()
+    if not routes or not flags or not subcommands:
+        print("check_docs: found no routes/flags/subcommands in src/ — "
               "the definition regexes are broken", file=sys.stderr)
         return 1
     errors = []
@@ -144,6 +168,8 @@ def main():
         text = path.read_text(encoding="utf-8")
         check_links(path, text, errors)
         check_metrics(path, text, known, errors)
+        if path.name != "ROADMAP.md":  # the roadmap names future surface
+            check_subcommands(path, text, subcommands, errors)
         if path.name == "OBSERVABILITY.md":
             check_cli_surface(path, text, routes, flags, errors)
         elif path.name == "TESTING.md":

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Guard the committed tracing-overhead results (BENCH_trace.json).
+
+Distributed tracing (docs/OBSERVABILITY.md) makes two promises this check
+enforces against the committed numbers:
+
+* **Off means off** — with ``--trace`` absent the run's accounting is
+  bit-identical to the seed configuration (``off_accounting_identical``
+  must be true; the benchmark fingerprints output, step counts,
+  round-trip counts, and transcript event kinds across all cells).
+* **On stays cheap** — ``trace_overhead_pct`` (tracing's increment over
+  already-live telemetry) must stay under ``--max-trace-overhead``
+  (default 75%%); ``telemetry_overhead_pct`` gets a loose sanity bound.
+
+Regenerate the file with::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py \
+        --output BENCH_trace.json
+
+Usage::
+
+    python tools/check_trace.py [BENCH_trace.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
+CELLS = ("plain", "recorded", "traced")
+
+
+def check(path, max_trace_overhead=75.0, max_telemetry_overhead=400.0):
+    """Return a list of problem strings (empty means the file is healthy)."""
+    problems = []
+    try:
+        report = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+
+    cells = report.get("cells")
+    if not isinstance(cells, dict):
+        return ["%s: no cells recorded" % path]
+    for name in CELLS:
+        row = cells.get(name)
+        if not isinstance(row, dict):
+            problems.append("missing cell %r" % name)
+            continue
+        for field in ("round_trips", "best_s", "rt_per_s"):
+            value = row.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append("%s: bad field %r (%r)" % (name, field, value))
+
+    if report.get("off_accounting_identical") is not True:
+        problems.append(
+            "off_accounting_identical is %r — tracing changed the "
+            "accounting of an untraced run"
+            % report.get("off_accounting_identical"))
+
+    trace_pct = report.get("trace_overhead_pct")
+    if not isinstance(trace_pct, (int, float)):
+        problems.append("missing trace_overhead_pct")
+    elif trace_pct > max_trace_overhead:
+        problems.append(
+            "trace_overhead_pct %.2f%% exceeds the %.2f%% budget"
+            % (trace_pct, max_trace_overhead))
+
+    telemetry_pct = report.get("telemetry_overhead_pct")
+    if not isinstance(telemetry_pct, (int, float)):
+        problems.append("missing telemetry_overhead_pct")
+    elif telemetry_pct > max_telemetry_overhead:
+        problems.append(
+            "telemetry_overhead_pct %.2f%% exceeds the %.2f%% sanity bound"
+            % (telemetry_pct, max_telemetry_overhead))
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="check_trace")
+    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH))
+    parser.add_argument("--max-trace-overhead", type=float, default=75.0,
+                        help="ceiling on tracing's increment over live "
+                        "telemetry, percent (default 75)")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=400.0,
+                        help="sanity ceiling on the telemetry cells, "
+                        "percent (default 400)")
+    args = parser.parse_args(argv)
+    problems = check(args.path, args.max_trace_overhead,
+                     args.max_telemetry_overhead)
+    if problems:
+        print("tracing-overhead check failed:", file=sys.stderr)
+        for problem in problems:
+            print("  " + problem, file=sys.stderr)
+        return 1
+    print("trace bench ok: %s" % args.path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
