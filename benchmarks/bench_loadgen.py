@@ -1,0 +1,73 @@
+"""Concurrent-load benchmark: many synthetic clients, one multi-tenant daemon.
+
+The acceptance bar for the daemon rework (docs/OPERATIONS.md): the load
+harness must sustain 100 concurrent clients against a single daemon
+serving all four Table 5 corpora as tenants, with zero protocol errors.
+This benchmark runs exactly that and writes the committed numbers
+(BENCH_load.json) that ``tools/check_load.py`` guards in CI.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_loadgen.py --output BENCH_load.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.bench.experiments import run_loadgen_experiment
+
+SCALE = 0.3
+CLIENTS_TOTAL = 100
+
+
+def run_suite(scale=SCALE, clients_total=CLIENTS_TOTAL):
+    result = run_loadgen_experiment(scale=scale, clients_total=clients_total)
+    reports = result.data["reports"]
+    return {
+        "description": "concurrent synthetic-client load against one "
+                       "multi-tenant hidden-component daemon "
+                       "(per-tenant fleets offered simultaneously)",
+        "scale": scale,
+        "clients_total": result.data["clients_total"],
+        "tenants": result.data["tenants"],
+        "protocol_errors": sum(
+            r["errors"]["protocol"] for r in reports.values()),
+        "reports": reports,
+    }
+
+
+# -- pytest smoke entry point (CI: small fleet, zero protocol errors) ---------
+
+
+def test_loadgen_fleet_has_no_protocol_errors_smoke():
+    report = run_suite(scale=0.1, clients_total=8)
+    assert report["clients_total"] == 8
+    assert len(report["tenants"]) == 4
+    assert report["protocol_errors"] == 0
+    for tenant_report in report["reports"].values():
+        assert tenant_report["errors"] == {
+            "protocol": 0, "reply": 0, "skipped_ops": 0}
+        assert tenant_report["latency_ms"]["p95"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="bench_loadgen")
+    parser.add_argument("--scale", type=float, default=SCALE)
+    parser.add_argument("--clients", type=int, default=CLIENTS_TOTAL)
+    parser.add_argument("--output", help="write JSON here (default stdout)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(scale=args.scale, clients_total=args.clients)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print("wrote %s" % args.output)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

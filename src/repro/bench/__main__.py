@@ -20,8 +20,8 @@ def main(argv=None):
     parser.add_argument(
         "names",
         nargs="*",
-        help="which experiments (table1..table5, rtattr, fig2, fig3, "
-        "attack); default all",
+        help="which experiments (table1..table5, rtattr, loadgen, fig2, "
+        "fig3, attack); default all",
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument(
@@ -39,6 +39,8 @@ def main(argv=None):
         "table5": lambda: experiments.run_table5(scale=args.scale,
                                                  engine=args.engine),
         "rtattr": lambda: experiments.run_rt_attribution(scale=args.scale),
+        "loadgen": lambda: experiments.run_loadgen_experiment(
+            scale=min(args.scale, 0.3)),
         "fig2": lambda: experiments.run_fig2_experiment(engine=args.engine),
         "fig3": lambda: experiments.run_fig3_experiment(engine=args.engine),
         "attack": experiments.run_attack_experiment,

@@ -5,6 +5,7 @@ text table matching the paper's layout, so benchmarks can both assert on
 shapes and print the reproduction next to the paper's numbers.
 """
 
+import threading
 from functools import lru_cache
 
 from repro import obs
@@ -358,6 +359,77 @@ def run_rt_attribution(scale=0.3, runs=None):
         cells.append("%.2f%%" % overall["coverage_pct"])
         table.add_row(*cells)
     return ExperimentResult("rtattr", data, table)
+
+
+# -- Concurrent load against the multi-tenant daemon -------------------------
+
+
+def run_loadgen_experiment(scale=0.3, clients_total=100, iterations=1,
+                           runs=None):
+    """Concurrent load against ONE daemon serving every Table 5 corpus.
+
+    Each corpus becomes a tenant of a single multi-tenant daemon
+    (docs/OPERATIONS.md); its session shape comes from a simulated run's
+    transcript (the same extraction ``repro loadgen`` applies to a
+    ``--log-events`` file).  ``clients_total`` synthetic clients — split
+    evenly across the tenants, all fleets offered concurrently — replay
+    those shapes over real TCP, and the table reports per-tenant
+    throughput and exact p50/p95/p99 round-trip latency.
+    """
+    from repro.loadgen import run_loadgen
+    from repro.loadgen.replay import script_from_transcript
+    from repro.runtime.remote import remote_server
+    from repro.runtime.server import Tenant
+
+    runs = runs if runs is not None else TABLE5_RUNS
+    picked = []
+    for run in runs:  # first driver invocation of each benchmark
+        if all(p.benchmark != run.benchmark for p in picked):
+            picked.append(run)
+    tenants, scripts = [], {}
+    for run in picked:
+        sp = split_corpus(run.benchmark, scale)
+        tenants.append(Tenant.from_program(run.benchmark, sp))
+        scripts[run.benchmark] = script_from_transcript(
+            run_split(sp, args=(run.n, run.m)).channel.transcript
+        )
+    per_tenant = max(1, clients_total // len(picked))
+    reports = {}
+    with remote_server(tenants=tenants) as address:
+        def fleet(name):
+            reports[name] = run_loadgen(
+                address, scripts[name], clients=per_tenant,
+                iterations=iterations, program=name,
+            )
+        threads = [threading.Thread(target=fleet, args=(run.benchmark,))
+                   for run in picked]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    table = Table(
+        "Concurrent load: %d clients against one %d-tenant daemon"
+        % (per_tenant * len(picked), len(picked)),
+        ["Tenant", "Clients", "Ops", "Ops/s", "p50 (ms)", "p95 (ms)",
+         "p99 (ms)", "Errors"],
+    )
+    for run in picked:
+        report = reports[run.benchmark]
+        lat = report["latency_ms"]
+        errors = sum(report["errors"].values())
+        table.add_row(
+            run.benchmark, report["clients"], report["ops"],
+            "%.0f" % report["throughput_ops_s"],
+            "%.2f" % lat["p50"], "%.2f" % lat["p95"], "%.2f" % lat["p99"],
+            errors,
+        )
+    data = {
+        "scale": scale,
+        "clients_total": per_tenant * len(picked),
+        "tenants": [run.benchmark for run in picked],
+        "reports": reports,
+    }
+    return ExperimentResult("loadgen", data, table)
 
 
 # -- Figures -----------------------------------------------------------------

@@ -225,7 +225,9 @@ def cmd_run_split(args, out):
                 result = run_split_remote(sp, (host or "127.0.0.1", int(port)),
                                           entry=args.entry, args=run_args,
                                           batching=batching, engine=engine,
-                                          trace=trace)
+                                          trace=trace,
+                                          program=getattr(args, "program",
+                                                          None))
                 for line in result.output:
                     print(line, file=out)
                 print(
@@ -321,28 +323,99 @@ def cmd_lint(args, out):
     return 1
 
 
-def cmd_serve(args, out):
+def _load_tenants(manifests):
+    """Parse serve's manifest arguments into Tenant registrations.
+
+    Each argument is ``PATH`` or ``NAME=PATH``; without an explicit name
+    the file's stem names the program.  The first manifest is the daemon's
+    default program (docs/OPERATIONS.md)."""
+    import os
+
     from repro.core.deploy import import_split
+    from repro.runtime.server import Tenant
+
+    tenants = []
+    seen = set()
+    for spec in manifests:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = "", spec
+        if not name:
+            name = os.path.splitext(os.path.basename(path))[0]
+        if name in seen:
+            raise ValueError("duplicate program name %r" % name)
+        seen.add(name)
+        with open(path) as f:
+            tenants.append(Tenant.from_program(name, import_split(f.read())))
+    return tenants
+
+
+def cmd_serve(args, out):
     from repro.runtime.remote import HiddenComponentServer
 
     with _terminate_as_interrupt(), _telemetry_session(args, out):
-        with open(args.manifest) as f:
-            deployed = import_split(f.read())
         server = HiddenComponentServer(
-            deployed.registry(),
-            hidden_globals=deployed.hidden_global_inits,
-            hidden_field_classes=deployed.hidden_field_classes,
+            tenants=_load_tenants(args.manifest),
             host=args.host,
             port=args.port,
             engine=getattr(args, "engine", DEFAULT_ENGINE),
+            max_sessions=getattr(args, "max_sessions", None),
+            idle_timeout_s=getattr(args, "idle_timeout", None),
         )
         print("hidden component serving on %s:%d" % server.address, file=out)
+        print("programs: %s" % ", ".join(server.programs), file=out)
+        # SIGTERM drains gracefully: stop accepting, finish in-flight
+        # calls, then fall through to the telemetry flush.  SIGINT (and a
+        # second SIGTERM) still aborts immediately via KeyboardInterrupt.
+        def _drain(signum, frame):
+            signal.signal(signal.SIGTERM, previous)
+            server.drain()
+
+        try:
+            previous = signal.signal(signal.SIGTERM, _drain)
+        except ValueError:  # not the main thread (tests drive main())
+            previous = None
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
             server.shutdown()
+            if previous is not None:
+                with contextlib.suppress(ValueError):
+                    signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def cmd_loadgen(args, out):
+    from repro.loadgen import harness, replay
+
+    with _terminate_as_interrupt(), _telemetry_session(args, out):
+        script = replay.load_script(args.log)
+        slo = harness.parse_slo(args.slo) if args.slo else None
+        host, _, port = args.address.rpartition(":")
+        report = harness.run_loadgen(
+            (host or "127.0.0.1", int(port)), script,
+            clients=args.clients, iterations=args.iterations,
+            mode=args.mode, program=args.program,
+            think_scale=args.think_scale, seed=args.seed,
+            timeout_s=args.timeout, slo=slo, scrape=args.scrape,
+        )
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("wrote %s" % args.output, file=out)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(harness.render_report(report), file=out)
+    if args.fail_over_slo:
+        if not harness.slo_ok(report):
+            return 1
+        if report["errors"]["protocol"]:
+            # a gated run must not pass on the back of failed sessions
+            return 1
     return 0
 
 
@@ -685,6 +758,11 @@ def build_parser():
     p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
     p.add_argument("--remote", help="host:port of a served hidden component")
     p.add_argument(
+        "--program",
+        help="named program (tenant) to bind to on a multi-tenant daemon "
+        "(with --remote; default: the daemon's default program)",
+    )
+    p.add_argument(
         "--trace", action="store_true",
         help="stamp every frame with trace context and measure the "
         "serialize/wire/exec/deser phase split per round trip (remote "
@@ -707,15 +785,86 @@ def build_parser():
                    help="also diagnose the split's protection quality")
     p.set_defaults(fn=cmd_lint)
 
-    p = sub.add_parser("serve", help="serve a hidden component from a manifest")
-    p.add_argument("manifest", help="manifest JSON from 'export'")
+    p = sub.add_parser(
+        "serve",
+        help="serve hidden components from export manifests (a multi-"
+        "tenant daemon; docs/OPERATIONS.md)",
+    )
+    p.add_argument(
+        "manifest", nargs="+",
+        help="manifest JSON from 'export'; repeatable, each optionally "
+        "NAME=PATH to name the program (default: the file stem); the "
+        "first manifest is the default program",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0)
+    p.add_argument(
+        "--max-sessions", type=int, metavar="N", dest="max_sessions",
+        help="connection limit: refuse new connections (retryable error "
+        "frame) beyond this many live sessions",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, metavar="SECONDS", dest="idle_timeout",
+        help="close sessions whose connection stays silent longer than this",
+    )
     engine_flag(p)
     metrics_flag(p)
     events_flags(p)
     expo_flag(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="replay a flight-recorder log as N concurrent synthetic "
+        "clients against a served daemon (docs/OPERATIONS.md)",
+    )
+    p.add_argument(
+        "log",
+        help="flight-recorder jsonl (--log-events output) to replay; "
+        "server-side logs replay with full fidelity",
+    )
+    p.add_argument("--address", required=True, metavar="HOST:PORT",
+                   help="address of the serving daemon")
+    p.add_argument("--program", help="named program (tenant) to bind to")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent synthetic clients (default: 8)")
+    p.add_argument("--iterations", type=int, default=1,
+                   help="script repetitions per client (default: 1)")
+    p.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed-loop replays back-to-back; open-loop sleeps the "
+        "log's recorded think times between ops",
+    )
+    p.add_argument(
+        "--think-scale", type=float, default=1.0, dest="think_scale",
+        metavar="FACTOR",
+        help="open-loop think-time multiplier (default: 1.0)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the open-loop think-time jitter")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                   help="per-read client socket timeout")
+    p.add_argument(
+        "--scrape", metavar="URL",
+        help="scrape this live /metrics.json endpoint before and after "
+        "the run and include the daemon's per-program session counters",
+    )
+    p.add_argument(
+        "--slo", metavar="PCT=LIMIT,...",
+        help="latency gate over the merged round-trip latencies, "
+        "e.g. 'p95=250ms,p99=1s'",
+    )
+    p.add_argument(
+        "--fail-over-slo", action="store_true", dest="fail_over_slo",
+        help="exit 1 when any --slo percentile is exceeded or any "
+        "session hit a protocol error",
+    )
+    p.add_argument("--output", metavar="PATH",
+                   help="write the machine-readable report (JSON) here")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default: text)")
+    metrics_flag(p)
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser(
         "stats", help="run under telemetry and print the metrics snapshot"

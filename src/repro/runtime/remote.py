@@ -14,6 +14,14 @@ op, callback, error frame, the ``batch`` coalescing frame, the
 ``docs/PROTOCOL.md`` — that document is the reference; this module is one
 implementation of it.
 
+The server side is a *multi-tenant daemon*: it can load many exported
+programs concurrently, each client session binds to exactly one of them
+(the handshake's ``program`` selection, protocol revision 3), and every
+session gets its own instance-id namespace so tenants cannot observe each
+other.  Operational behaviour — connection limits, per-session
+backpressure, idle timeouts, and graceful drain on SIGTERM — is
+documented in ``docs/OPERATIONS.md``.
+
 Use :func:`remote_server` (context manager, serves in a daemon thread) for
 tests and demos, or :class:`HiddenComponentServer` directly for a
 standalone process.
@@ -27,21 +35,21 @@ import threading
 import time
 
 from repro import obs
-from repro.core.hidden import FragmentKind
-from repro.core.prefetch import touches_open_aggregates
 from repro.runtime.channel import Channel, LatencyModel
 from repro.runtime.compile import DEFAULT_ENGINE
 from repro.runtime.interpreter import Interpreter
-from repro.runtime.server import HiddenServer
+from repro.runtime.server import Tenant
 from repro.runtime.splitrun import RunResult
 from repro.runtime.values import RuntimeErr
 
 #: protocol revision announced in the server handshake (docs/PROTOCOL.md)
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: exported metric names (documented in docs/OBSERVABILITY.md)
 M_CLIENTS = "repro_remote_clients"
 M_SESSIONS = "repro_remote_sessions_total"
+M_SESSION_ERRORS = "repro_remote_session_errors_total"
+M_REJECTED = "repro_remote_rejected_total"
 
 
 class ChannelError(RuntimeErr):
@@ -147,22 +155,6 @@ def _phase_split(t0, t_sent, t_line, t_parsed, echoed_us):
     }
 
 
-def _deferrable_labels(registry):
-    """``{fn_id: [label, ...]}`` of one-way calls, advertised in the
-    handshake so the client can coalesce them (docs/PROTOCOL.md)."""
-    out = {}
-    for fn_id, (_name, fragments, _storage) in registry.items():
-        labels = [
-            label
-            for label, frag in fragments.items()
-            if frag.kind in (FragmentKind.SET, FragmentKind.STMTS)
-            and not touches_open_aggregates(frag)
-        ]
-        if labels:
-            out[fn_id] = sorted(labels)
-    return out
-
-
 class _SocketAccess:
     """Server-side proxy for open-component memory: every access becomes a
     callback message to the connected client."""
@@ -208,22 +200,60 @@ class _SocketAccess:
 
 
 class HiddenComponentServer:
-    """Hosts the hidden component behind a TCP socket."""
+    """Hosts one or more hidden components behind a single TCP socket — a
+    multi-tenant daemon (docs/OPERATIONS.md).
 
-    def __init__(self, registry, hidden_globals=None, hidden_field_classes=None,
-                 host="127.0.0.1", port=0, engine=DEFAULT_ENGINE):
-        self._make_inner = lambda: self._pin_recorder(HiddenServer(
-            registry,
-            Channel(LatencyModel.instant(), record=False),
-            hidden_globals=dict(hidden_globals or {}),
-            hidden_field_classes=dict(hidden_field_classes or {}),
-            engine=engine,
-        ))
-        self.hidden_field_classes = dict(hidden_field_classes or {})
-        self._deferrable = _deferrable_labels(registry)
+    The original single-program constructor still works: ``registry`` (with
+    ``hidden_globals``/``hidden_field_classes``) describes the *default*
+    program, the one a client that never selects a program is bound to.
+    ``tenants`` registers additional named programs; the first registered
+    program (positional ``registry`` first, then ``tenants`` in order) is
+    the default.
+
+    Operational limits, all off by default so the daemon degrades to the
+    seed's behaviour:
+
+    - ``max_sessions``: refuse connections beyond this many live sessions
+      (the refusal is an ``error`` handshake frame marked retryable);
+    - ``idle_timeout_s``: close sessions that leave the connection silent
+      longer than this (bounds every read, including callback answers);
+    - ``max_batch_msgs``: per-session backpressure — reject ``batch``
+      frames coalescing more than this many messages;
+    - ``drain_grace_s``: how long :meth:`serve_forever` waits for in-flight
+      requests to finish after :meth:`drain`.
+    """
+
+    def __init__(self, registry=None, hidden_globals=None,
+                 hidden_field_classes=None, host="127.0.0.1", port=0,
+                 engine=DEFAULT_ENGINE, tenants=None, default_name="default",
+                 max_sessions=None, idle_timeout_s=None, max_batch_msgs=1024,
+                 drain_grace_s=10.0):
+        self._tenants = {}
+        if registry is not None:
+            self.add_tenant(Tenant(
+                default_name, registry,
+                hidden_globals=hidden_globals,
+                hidden_field_classes=hidden_field_classes,
+            ))
+        for tenant in tenants or ():
+            self.add_tenant(tenant)
+        if not self._tenants:
+            raise ValueError("the daemon needs at least one program to serve")
+        self._default = next(iter(self._tenants.values()))
+        # single-program compatibility surface (default tenant's facts)
+        self.hidden_field_classes = dict(self._default.hidden_field_classes)
+        self._deferrable = self._default.deferrable
+        self.engine = engine
+        self.max_sessions = max_sessions
+        self.idle_timeout_s = idle_timeout_s
+        self.max_batch_msgs = max_batch_msgs
+        self.drain_grace_s = drain_grace_s
         self._sock = socket.create_server((host, port))
         self.address = self._sock.getsockname()
         self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._sessions = set()
+        self._sessions_lock = threading.Lock()
         metrics = obs.get_registry()
         self._metrics = metrics if metrics.enabled else None
         recorder = obs.get_recorder()
@@ -231,6 +261,39 @@ class HiddenComponentServer:
         # clock-sync fallback epoch when no flight recorder is active: the
         # trace handshake still answers with a consistent local timebase
         self._t0 = time.perf_counter()
+
+    # -- tenancy ---------------------------------------------------------------
+
+    def add_tenant(self, tenant):
+        """Register a program; its name is the handshake's ``program`` key."""
+        if tenant.name in self._tenants:
+            raise ValueError("duplicate program name %r" % tenant.name)
+        self._tenants[tenant.name] = tenant
+
+    @property
+    def programs(self):
+        """Registered program names, default first."""
+        return list(self._tenants)
+
+    def _handshake(self):
+        # the handshake carries the *default* program's facts (old clients
+        # never select one) plus the program directory; `functions` lets a
+        # log-replay client resolve recorded function names to ids
+        d = self._default
+        return {
+            "proto": PROTOCOL_VERSION,
+            "classes": sorted(d.hidden_field_classes),
+            "deferrable": {
+                str(fn_id): labels for fn_id, labels in d.deferrable.items()
+            },
+            "programs": list(self._tenants),
+            "functions": dict(d.functions),
+        }
+
+    def _new_inner(self, tenant):
+        return self._pin_recorder(tenant.new_server(
+            Channel(LatencyModel.instant(), record=False), engine=self.engine,
+        ))
 
     def _now_us(self):
         """Microseconds on this server's event timebase — the recorder's
@@ -241,72 +304,181 @@ class HiddenComponentServer:
         return round((time.perf_counter() - self._t0) * 1e6, 1)
 
     def _pin_recorder(self, inner):
-        """Inner hidden servers are created at accept time, when (in the
-        in-process ``remote_server`` setup) the *client's* telemetry scope
-        may be active; their fragment events belong to this server's
+        """Inner hidden servers are created at session-bind time, when (in
+        the in-process ``remote_server`` setup) the *client's* telemetry
+        scope may be active; their fragment events belong to this server's
         stream, pinned at construction."""
         inner._recorder = self._recorder
         return inner
 
+    # -- accept loop -----------------------------------------------------------
+
     def serve_forever(self):
-        """Accept clients until :meth:`shutdown`; one thread per client,
-        each with its own hidden state (a fresh deployment per session)."""
+        """Accept clients until :meth:`shutdown` or :meth:`drain`; one
+        thread per client, each with its own hidden state (a fresh
+        deployment per session)."""
         self._sock.settimeout(0.2)
         threads = []
-        while not self._stop.is_set():
+        while not (self._stop.is_set() or self._draining.is_set()):
             try:
                 conn, _addr = self._sock.accept()
             except socket.timeout:
                 continue
             except OSError:
                 break
-            t = threading.Thread(target=self._serve_client, args=(conn,), daemon=True)
+            if (
+                self.max_sessions is not None
+                and self.live_sessions() >= self.max_sessions
+            ):
+                self._reject(conn, "connection limit reached (%d live "
+                             "sessions)" % self.max_sessions)
+                continue
+            session = _ClientSession(self, conn)
+            with self._sessions_lock:
+                self._sessions.add(session)
+            t = threading.Thread(target=session.run, daemon=True)
             t.start()
             threads.append(t)
+        grace = self.drain_grace_s if self._draining.is_set() else 1.0
+        deadline = time.monotonic() + grace
         for t in threads:
-            t.join(timeout=1.0)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def live_sessions(self):
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    def _session_done(self, session):
+        with self._sessions_lock:
+            self._sessions.discard(session)
+
+    def _reject(self, conn, message):
+        """Refuse a connection before the protocol handshake: the error
+        frame is marked retryable so a policy-driven client backs off and
+        tries again instead of failing the run."""
+        if self._metrics is not None:
+            self._metrics.counter(
+                M_REJECTED, help="connections refused before handshake",
+                reason="limit",
+            ).inc()
+        with contextlib.suppress(OSError):
+            wfile = conn.makefile("wb")
+            _send(wfile, {"error": message, "retry": True})
+        with contextlib.suppress(OSError):
+            conn.close()
+
+    def _count_session_error(self, reason):
+        if self._metrics is not None:
+            self._metrics.counter(
+                M_SESSION_ERRORS,
+                help="sessions ended by transport errors or timeouts",
+                reason=reason,
+            ).inc()
 
     def shutdown(self):
+        """Immediate stop: close the listener; session threads are daemonic
+        and die with the process.  Use :meth:`drain` for a graceful exit."""
         self._stop.set()
         with contextlib.suppress(OSError):
             self._sock.close()
 
-    def _serve_client(self, conn):
-        inner = self._make_inner()
-        rfile = conn.makefile("rb")
-        wfile = conn.makefile("wb")
-        if self._metrics is not None:
-            # live scrape support (--expo-port): how many client sessions
-            # are connected right now, and how many there have been
-            self._metrics.gauge(
-                M_CLIENTS, help="currently connected client sessions"
-            ).inc()
-            self._metrics.counter(
-                M_SESSIONS, help="client sessions accepted since start"
-            ).inc()
-        # handshake: protocol revision, which classes are split (so the
-        # client only reports relevant instance creations), and which calls
-        # are one-way (so a batching client knows what it may coalesce)
-        _send(
-            wfile,
-            {
-                "proto": PROTOCOL_VERSION,
-                "classes": sorted(self.hidden_field_classes),
-                "deferrable": {
-                    str(fn_id): labels
-                    for fn_id, labels in self._deferrable.items()
-                },
-            },
-        )
-        recorder = self._recorder
+    def drain(self):
+        """Graceful shutdown (docs/OPERATIONS.md): stop accepting, let every
+        session finish the request it is currently executing, then close.
+        Sessions blocked waiting for a client's next frame are released
+        immediately; :meth:`serve_forever` returns once sessions have had
+        ``drain_grace_s`` to wind down, after which the caller's telemetry
+        flush runs."""
+        self._draining.set()
+        with contextlib.suppress(OSError):
+            self._sock.close()
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.request_drain()
+
+
+class _ClientSession:
+    """One connected client: a tenant binding, a private hidden server,
+    and the per-session limits (docs/OPERATIONS.md).
+
+    The binding happens at the first frame: a ``hello`` carrying
+    ``program`` selects that tenant; any hidden-state op before a selection
+    binds the session to the daemon's default program.  Once hidden state
+    has been touched the binding is final — a later selection of a
+    different program is refused.
+    """
+
+    def __init__(self, server, conn):
+        self.server = server
+        self.conn = conn
+        self.tenant = None
+        self.inner = None
+        self.batching = False
+        self._used = False
+        self._in_flight = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self):
+        server = self.server
+        conn = self.conn
         try:
-            while True:
-                try:
-                    msg = _recv(rfile)
-                except RuntimeErr:
-                    # closed, reset, or unparseable: drop the session — the
-                    # client cannot be answered coherently any more
+            if server.idle_timeout_s is not None:
+                conn.settimeout(server.idle_timeout_s)
+            rfile = conn.makefile("rb")
+            wfile = conn.makefile("wb")
+            # handshake: protocol revision, the default program's split
+            # classes and one-way calls, and the program directory
+            _send(wfile, server._handshake())
+            self._loop(rfile, wfile)
+        except ChannelTimeout:
+            server._count_session_error("idle_timeout")
+        except (RuntimeErr, OSError):
+            # a client that vanishes mid-handshake or mid-frame is a
+            # session error, not a daemon failure: the accept loop and
+            # every other session keep going
+            server._count_session_error("disconnect")
+        finally:
+            if self.tenant is not None and server._metrics is not None:
+                server._metrics.gauge(
+                    M_CLIENTS, help="currently connected client sessions",
+                    program=self.tenant.name,
+                ).dec()
+            with contextlib.suppress(OSError):
+                conn.close()
+            server._session_done(self)
+
+    def request_drain(self):
+        """Release the session if it is idle (blocked reading the next
+        frame); an in-flight request is left to finish — its loop exits
+        right after the reply is sent."""
+        with self._lock:
+            if not self._in_flight:
+                with contextlib.suppress(OSError):
+                    self.conn.shutdown(socket.SHUT_RD)
+
+    def _loop(self, rfile, wfile):
+        server = self.server
+        recorder = server._recorder
+        while True:
+            try:
+                msg = _recv(rfile)
+            except RuntimeErr:
+                if server._draining.is_set():
+                    return  # the drain released this blocked read
+                raise
+            with self._lock:
+                if server._draining.is_set():
+                    # a frame racing the drain: refuse it — the daemon
+                    # only finishes requests already executing
+                    with contextlib.suppress(OSError, RuntimeErr):
+                        _send(wfile, {"error": "server is draining",
+                                      "retry": True})
                     return
+                self._in_flight = True
+            try:
                 tc = _frame_tc(msg)
                 op = str(msg.get("op"))
                 t0 = time.perf_counter()
@@ -322,8 +494,7 @@ class HiddenComponentServer:
                     if recorder is not None:
                         recorder.record("server_recv", op=op)
                     try:
-                        result = self._dispatch(inner, msg, rfile, wfile,
-                                                recorder)
+                        result = self._dispatch(msg, rfile, wfile, recorder)
                     except RuntimeErr as exc:
                         if recorder is not None:
                             recorder.record(
@@ -346,47 +517,117 @@ class HiddenComponentServer:
                     # duration, so no clock alignment is needed
                     reply["t"] = exec_us
                 _send(wfile, reply)
-        finally:
-            if self._metrics is not None:
-                self._metrics.gauge(
-                    M_CLIENTS, help="currently connected client sessions"
-                ).dec()
-            with contextlib.suppress(OSError):
-                conn.close()
+            finally:
+                with self._lock:
+                    self._in_flight = False
+            if server._draining.is_set():
+                return  # the in-flight request finished; drain closes us
 
-    def _dispatch(self, inner, msg, rfile, wfile, recorder=None):
+    # -- tenant binding --------------------------------------------------------
+
+    def _bind(self, tenant):
+        self.tenant = tenant
+        self.inner = self.server._new_inner(tenant)
+        self.inner.batching = self.batching
+        metrics = self.server._metrics
+        if metrics is not None:
+            # live scrape support (--expo-port): how many client sessions
+            # each program has right now, and how many there have been
+            metrics.gauge(
+                M_CLIENTS, help="currently connected client sessions",
+                program=tenant.name,
+            ).inc()
+            metrics.counter(
+                M_SESSIONS, help="client sessions accepted since start",
+                program=tenant.name,
+            ).inc()
+
+    def _ensure_bound(self):
+        if self.inner is None:
+            self._bind(self.server._default)
+        self._used = True
+        return self.inner
+
+    def _select_program(self, name):
+        tenant = self.server._tenants.get(str(name))
+        if tenant is None:
+            raise RuntimeErr(
+                "unknown program %r (serving: %s)"
+                % (name, ", ".join(sorted(self.server._tenants)))
+            )
+        if self.tenant is not None and self.tenant is not tenant:
+            raise RuntimeErr(
+                "session is bound to program %r; selection must come first"
+                % self.tenant.name
+            )
+        if self._used:
+            raise RuntimeErr(
+                "program selection must precede hidden-state ops"
+            )
+        if self.tenant is None:
+            self._bind(tenant)
+        return {
+            "ok": True,
+            "classes": sorted(tenant.hidden_field_classes),
+            "deferrable": {
+                str(fn_id): labels
+                for fn_id, labels in tenant.deferrable.items()
+            },
+            "functions": dict(tenant.functions),
+        }
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self, msg, rfile, wfile, recorder=None):
         op = msg.get("op")
         if op == "open":
+            inner = self._ensure_bound()
             receiver = _Oid(msg["oid"]) if msg.get("oid") is not None else None
             return inner.open_activation(msg["fn_id"], receiver=receiver)
         if op == "close":
-            inner.close_activation(msg["hid"])
+            self._ensure_bound().close_activation(msg["hid"])
             return None
         if op == "call":
+            inner = self._ensure_bound()
             access = _SocketAccess(rfile, wfile)
             return inner.call(msg["hid"], msg["label"], msg["values"], access)
         if op == "new_instance":
+            inner = self._ensure_bound()
             inner.instances[msg["oid"]] = dict(
                 inner.hidden_field_classes[msg["class"]]
             )
             return msg["oid"]
         if op == "hello":
-            # the client declares its options; batching turns on the
-            # server-side half (prefetch manifests -> fetch_batch callbacks)
+            # the client declares its options: program selection binds the
+            # session to a tenant, batching turns on the server-side half
+            # (prefetch manifests -> fetch_batch callbacks)
+            if "program" in msg:
+                return self._select_program(msg["program"])
             if "batching" in msg:
-                inner.batching = bool(msg["batching"])
+                self.batching = bool(msg["batching"])
+                if self.inner is not None:
+                    self.inner.batching = self.batching
             if isinstance(msg.get("trace"), dict):
                 # trace handshake: exchange recorder epochs so the two
                 # event streams can be clock-aligned (docs/PROTOCOL.md)
-                return {"ok": True, "epoch_us": self._now_us()}
+                return {"ok": True, "epoch_us": self.server._now_us()}
             return "ok"
+        if op == "shutdown":
+            # clean session end: close without replying (docs/PROTOCOL.md)
+            return "bye"
         if op == "batch":
             # coalesced one-way messages: dispatch in order, answer once.
             # Deferrable calls never touch open memory, so no access window
             # is needed; an error aborts the remainder of the batch and is
             # reported in the single reply.
+            msgs = msg.get("msgs", [])
+            if len(msgs) > self.server.max_batch_msgs:
+                raise RuntimeErr(
+                    "batch of %d messages exceeds the per-session limit (%d)"
+                    % (len(msgs), self.server.max_batch_msgs)
+                )
             executed = 0
-            for sub in msg.get("msgs", []):
+            for sub in msgs:
                 if sub.get("op") == "batch":
                     raise RuntimeErr("batch frames do not nest")
                 if recorder is not None:
@@ -395,7 +636,7 @@ class HiddenComponentServer:
                     # batch's trace context is applied by the caller)
                     recorder.record("server_recv", op=str(sub.get("op")),
                                     sub=executed)
-                self._dispatch(inner, sub, rfile, wfile, recorder)
+                self._dispatch(sub, rfile, wfile, recorder)
                 executed += 1
             return executed
         raise RuntimeErr("unknown op %r" % op)
@@ -432,12 +673,20 @@ class RemoteHiddenRuntime:
     ``repro_rt_phase_seconds`` histogram.  Off by default — untraced runs
     are bit-identical to the seed on the wire and in every account
     (docs/PROTOCOL.md, "Trace context").
+
+    With ``program=NAME`` the client selects that program on a
+    multi-tenant daemon (protocol revision 3) right after the handshake;
+    a server that predates named programs rejects the selection cleanly
+    (:class:`ChannelProtocolError`).  Without it the session is bound to
+    the daemon's default program — single-program deployments behave
+    exactly as before.
     """
 
     def __init__(self, address, channel=None, batching=False, policy=None,
-                 trace=False, trace_id=None):
+                 trace=False, trace_id=None, program=None):
         self.channel = channel or Channel(LatencyModel.instant(), record=True)
         self.batching = batching
+        self.program = program
         self.policy = policy or ConnectionPolicy()
         self.trace = bool(trace)
         # the id is fixed before connecting, so it survives the connection
@@ -473,12 +722,21 @@ class RemoteHiddenRuntime:
                 rfile = sock.makefile("rb")
                 wfile = sock.makefile("wb")
                 handshake = _recv(rfile)
+                if "error" in handshake:
+                    # the daemon refused before speaking the protocol
+                    # (connection limit): retryable under the policy
+                    raise ChannelError(
+                        "server refused connection: %s" % handshake["error"]
+                    )
                 proto = handshake.get("proto", 1)
                 if proto > PROTOCOL_VERSION:
                     raise ChannelProtocolError(
                         "server speaks protocol %r, client speaks up to %d"
                         % (proto, PROTOCOL_VERSION)
                     )
+                facts = handshake
+                if self.program is not None:
+                    facts = self._negotiate_program(rfile, wfile, handshake)
             except (ChannelError, OSError) as exc:
                 last_error = exc
                 if sock is not None:
@@ -488,11 +746,16 @@ class RemoteHiddenRuntime:
             self._sock = sock
             self._rfile = rfile
             self._wfile = wfile
-            self._split_classes = set(handshake.get("classes", []))
+            self._split_classes = set(facts.get("classes", []))
             self._deferrable = {
                 int(fn_id): set(labels)
-                for fn_id, labels in handshake.get("deferrable", {}).items()
+                for fn_id, labels in (facts.get("deferrable") or {}).items()
             }
+            self.functions = {
+                str(name): fn_id
+                for name, fn_id in (facts.get("functions") or {}).items()
+            }
+            self.server_programs = handshake.get("programs")
             self.connect_attempts = attempt + 1
             return
         self.connect_attempts = policy.connect_retries
@@ -502,6 +765,26 @@ class RemoteHiddenRuntime:
             "could not connect to %r after %d attempts: %s"
             % (address, policy.connect_retries, last_error)
         )
+
+    def _negotiate_program(self, rfile, wfile, handshake):
+        """Select a named program on a multi-tenant daemon; returns the
+        selected program's handshake facts.  Part of connection setup so
+        the policy's reconnect attempts redo it; deliberately uncounted
+        and unstamped (it precedes the session)."""
+        if "programs" not in handshake:
+            raise ChannelProtocolError(
+                "server speaks protocol %s and does not serve named "
+                "programs; cannot select %r"
+                % (handshake.get("proto", 1), self.program)
+            )
+        _send(wfile, {"op": "hello", "program": self.program})
+        reply = _recv(rfile)
+        if "error" in reply:
+            raise ChannelProtocolError(
+                "program selection failed: %s" % reply["error"]
+            )
+        result = reply.get("result")
+        return result if isinstance(result, dict) else {}
 
     def close(self):
         with contextlib.suppress(OSError, RuntimeErr):
@@ -724,14 +1007,20 @@ class RemoteHiddenRuntime:
 
 
 @contextlib.contextmanager
-def remote_server(split_program):
-    """Serve ``split_program``'s hidden component on an ephemeral local
-    port in a daemon thread; yields the ``(host, port)`` address."""
-    server = HiddenComponentServer(
-        split_program.registry(),
-        hidden_globals=getattr(split_program, "hidden_global_inits", None),
-        hidden_field_classes=getattr(split_program, "hidden_field_classes", None),
-    )
+def remote_server(split_program=None, tenants=None, **server_kwargs):
+    """Serve hidden components on an ephemeral local port in a daemon
+    thread; yields the ``(host, port)`` address.
+
+    ``split_program`` (if given) becomes the daemon's default program,
+    named ``"default"``; ``tenants`` is an iterable of additional
+    :class:`~repro.runtime.server.Tenant` registrations.  Extra keyword
+    arguments (``max_sessions``, ``idle_timeout_s``, ...) reach the
+    :class:`HiddenComponentServer` constructor."""
+    tenant_list = []
+    if split_program is not None:
+        tenant_list.append(Tenant.from_program("default", split_program))
+    tenant_list.extend(tenants or ())
+    server = HiddenComponentServer(tenants=tenant_list, **server_kwargs)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
@@ -743,7 +1032,7 @@ def remote_server(split_program):
 
 def run_split_remote(split_program, address, entry="main", args=(),
                      max_steps=20_000_000, batching=False, policy=None,
-                     engine=DEFAULT_ENGINE, trace=False):
+                     engine=DEFAULT_ENGINE, trace=False, program=None):
     """Run the open component locally against a hidden component served at
     ``address``; returns a :class:`RunResult` whose channel counted the
     real network round trips.
@@ -751,9 +1040,11 @@ def run_split_remote(split_program, address, entry="main", args=(),
     With ``trace=True`` (``--trace``) the run carries distributed-tracing
     context and per-phase latency measurements (docs/OBSERVABILITY.md);
     the result grows a ``trace_sync`` attribute with the clock-alignment
-    handshake outcome.  Accounting stays bit-identical either way."""
+    handshake outcome.  ``program`` selects a named program on a
+    multi-tenant daemon (docs/OPERATIONS.md).  Accounting stays
+    bit-identical either way."""
     runtime = RemoteHiddenRuntime(address, batching=batching, policy=policy,
-                                  trace=trace)
+                                  trace=trace, program=program)
     try:
         interp = Interpreter(
             split_program.program, hidden_runtime=runtime, max_steps=max_steps,

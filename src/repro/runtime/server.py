@@ -22,6 +22,7 @@ from repro.obs.metrics import STEP_BUCKETS
 from repro.lang import ast
 from repro.core.hidden import FragmentKind
 from repro.core.prefetch import resolve_prefetch, touches_open_aggregates
+from repro.runtime.channel import Channel, LatencyModel
 # control flow is shared with the compiled engine (repro.runtime.compile)
 from repro.runtime.compile import (
     DEFAULT_ENGINE,
@@ -49,6 +50,77 @@ M_STMTS = "repro_stmt_executions_total"
 
 #: batch-cache miss sentinel (prefetched values may legitimately be falsy)
 _MISSING = object()
+
+
+def deferrable_labels(registry):
+    """``{fn_id: [label, ...]}`` of one-way calls — ``set``/``stmts``
+    fragments that never touch open aggregates — advertised in the remote
+    handshake so a batching client knows what it may coalesce
+    (docs/PROTOCOL.md)."""
+    out = {}
+    for fn_id, (_name, fragments, _storage) in registry.items():
+        labels = [
+            label
+            for label, frag in fragments.items()
+            if frag.kind in (FragmentKind.SET, FragmentKind.STMTS)
+            and not touches_open_aggregates(frag)
+        ]
+        if labels:
+            out[fn_id] = sorted(labels)
+    return out
+
+
+class Tenant:
+    """One served program: its fragment registry, hidden-state
+    initialisers, and the handshake facts derived from them.
+
+    The multi-tenant daemon (:class:`repro.runtime.remote.
+    HiddenComponentServer`, docs/OPERATIONS.md) keeps one ``Tenant`` per
+    registered program and mints a fresh per-session :class:`HiddenServer`
+    from it on demand, so sessions — and therefore tenants — never share
+    activation, instance, or hidden-global state.
+    """
+
+    __slots__ = ("name", "registry", "hidden_globals", "hidden_field_classes",
+                 "deferrable", "functions")
+
+    def __init__(self, name, registry, hidden_globals=None,
+                 hidden_field_classes=None):
+        self.name = str(name)
+        self.registry = registry
+        self.hidden_globals = dict(hidden_globals or {})
+        self.hidden_field_classes = dict(hidden_field_classes or {})
+        self.deferrable = deferrable_labels(registry)
+        #: split-function name -> fn_id, advertised in the handshake so
+        #: log-replay clients (repro loadgen) can resolve recorded names
+        self.functions = {
+            fn_name: fn_id
+            for fn_id, (fn_name, _fragments, _storage) in registry.items()
+        }
+
+    @classmethod
+    def from_program(cls, name, program):
+        """Build from anything with a ``registry()`` — a ``SplitProgram``
+        or an imported ``DeployedSplitProgram``."""
+        return cls(
+            name,
+            program.registry(),
+            hidden_globals=getattr(program, "hidden_global_inits", None),
+            hidden_field_classes=getattr(program, "hidden_field_classes", None),
+        )
+
+    def new_server(self, channel=None, engine=DEFAULT_ENGINE,
+                   max_steps=20_000_000):
+        """A fresh :class:`HiddenServer` over this tenant's tables, with
+        private copies of the initial hidden state."""
+        return HiddenServer(
+            self.registry,
+            channel or Channel(LatencyModel.instant(), record=False),
+            max_steps=max_steps,
+            hidden_globals=dict(self.hidden_globals),
+            hidden_field_classes=dict(self.hidden_field_classes),
+            engine=engine,
+        )
 
 
 class Activation:

@@ -9,11 +9,11 @@ Two failure modes that rot silently:
 2. **Stale metric names** — docs citing a ``repro_*`` metric that no
    ``M_* = "repro_..."`` constant in ``src/`` defines any more (the
    metric names are a stable interface; see docs/OBSERVABILITY.md).
-3. **Stale CLI surface** — docs/OBSERVABILITY.md citing an HTTP endpoint
-   the exposition server does not route (``ROUTES`` in
-   ``src/repro/obs/httpexpo.py``) or a ``--flag`` no ``add_argument``
-   in ``src/repro/cli.py`` defines; any doc invoking a ``repro <sub>``
-   subcommand no ``add_parser`` registers.
+3. **Stale CLI surface** — docs/OBSERVABILITY.md or docs/OPERATIONS.md
+   citing an HTTP endpoint the exposition server does not route
+   (``ROUTES`` in ``src/repro/obs/httpexpo.py``) or a ``--flag`` no
+   ``add_argument`` in ``src/repro/cli.py`` defines; any doc invoking a
+   ``repro <sub>`` subcommand no ``add_parser`` registers.
 
 Exit status 0 when clean, 1 with a findings listing otherwise.  No
 dependencies beyond the standard library, so it runs anywhere::
@@ -170,7 +170,7 @@ def main():
         check_metrics(path, text, known, errors)
         if path.name != "ROADMAP.md":  # the roadmap names future surface
             check_subcommands(path, text, subcommands, errors)
-        if path.name == "OBSERVABILITY.md":
+        if path.name in ("OBSERVABILITY.md", "OPERATIONS.md"):
             check_cli_surface(path, text, routes, flags, errors)
         elif path.name == "TESTING.md":
             check_cli_surface(path, text, routes, flags, errors,

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Guard the committed concurrent-load results (BENCH_load.json).
+
+The multi-tenant daemon rework (docs/OPERATIONS.md) set an acceptance
+bar this check enforces against the committed numbers:
+
+* **Scale held** — at least ``--min-clients`` concurrent synthetic
+  clients (default 100) ran against one daemon serving every Table 5
+  corpus as a tenant (all four must be present);
+* **The wire held** — zero protocol errors, error replies, or skipped
+  ops across every fleet;
+* **Latency stayed sane** — each tenant's p95 round-trip stays under
+  ``--max-p95-ms`` (default 500 ms, a deliberately generous budget:
+  this gate catches pathological regressions, not machine noise).
+
+Regenerate the file with::
+
+    PYTHONPATH=src python benchmarks/bench_loadgen.py \
+        --output BENCH_load.json
+
+Usage::
+
+    python tools/check_load.py [BENCH_load.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_load.json"
+
+TENANTS = ("javac", "jess", "jasmin", "bloat")
+
+
+def check(path, min_clients=100, max_p95_ms=500.0):
+    """Return a list of problem strings (empty means the file is healthy)."""
+    problems = []
+    try:
+        report = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+
+    clients = report.get("clients_total", 0)
+    if clients < min_clients:
+        problems.append(
+            "clients_total %s is under the %d-concurrent-client bar"
+            % (clients, min_clients))
+    missing = [t for t in TENANTS if t not in report.get("tenants", [])]
+    if missing:
+        problems.append("tenant corpora missing: %s" % ", ".join(missing))
+    if report.get("protocol_errors") != 0:
+        problems.append(
+            "protocol_errors is %r, expected 0" % report.get("protocol_errors"))
+
+    reports = report.get("reports", {})
+    for name in TENANTS:
+        tenant = reports.get(name)
+        if tenant is None:
+            problems.append("no per-tenant report for %s" % name)
+            continue
+        errors = tenant.get("errors", {})
+        bad = {k: v for k, v in errors.items() if v}
+        if bad:
+            problems.append("%s fleet saw errors: %s" % (name, bad))
+        lat = tenant.get("latency_ms", {})
+        for q in ("p50", "p95", "p99"):
+            if q not in lat:
+                problems.append("%s report lacks %s latency" % (name, q))
+        p95 = lat.get("p95")
+        if p95 is not None and p95 > max_p95_ms:
+            problems.append(
+                "%s p95 %.1f ms exceeds the %.0f ms budget"
+                % (name, p95, max_p95_ms))
+        if tenant.get("ops", 0) <= 0:
+            problems.append("%s fleet answered no ops" % name)
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="check_load")
+    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH))
+    parser.add_argument("--min-clients", type=int, default=100)
+    parser.add_argument("--max-p95-ms", type=float, default=500.0)
+    args = parser.parse_args(argv)
+
+    problems = check(args.path, min_clients=args.min_clients,
+                     max_p95_ms=args.max_p95_ms)
+    if problems:
+        for problem in problems:
+            print("FAIL: %s" % problem)
+        return 1
+    report = json.loads(pathlib.Path(args.path).read_text())
+    print("ok: %d clients over %d tenants, 0 protocol errors, "
+          "p95 within %.0f ms"
+          % (report["clients_total"], len(report["tenants"]),
+             args.max_p95_ms))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
