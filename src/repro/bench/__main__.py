@@ -12,7 +12,7 @@ import sys
 import time
 
 from repro.bench import experiments
-from repro.runtime.compile import DEFAULT_ENGINE, ENGINES
+from repro.runtime import DEFAULT_ENGINE, ENGINES
 
 
 def main(argv=None):

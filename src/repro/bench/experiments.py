@@ -17,7 +17,7 @@ from repro.core.pipeline import auto_split
 from repro.core.program import split_program
 from repro.lang import check_program, parse_program
 from repro.runtime.channel import M_ROUND_TRIPS, M_SIM_MS, LatencyModel
-from repro.runtime.compile import DEFAULT_ENGINE
+from repro.runtime import DEFAULT_ENGINE
 from repro.runtime.interpreter import M_STEPS
 from repro.runtime.splitrun import check_equivalence, run_original, run_split
 from repro.security.lattice import CType, VARYING

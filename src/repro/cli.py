@@ -41,7 +41,7 @@ from repro.lang.errors import LangError
 from repro.runtime.values import RuntimeErr
 from repro.lang.pretty import pretty_function
 from repro.runtime.channel import LatencyModel
-from repro.runtime.compile import DEFAULT_ENGINE, ENGINES
+from repro.runtime import DEFAULT_ENGINE, ENGINES
 from repro.runtime.splitrun import check_equivalence, run_original, run_split
 from repro.security.report import analyze_split_security
 
@@ -735,7 +735,8 @@ def build_parser():
         p.add_argument(
             "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
             help="execution engine (docs/ENGINE.md): 'compiled' lowers "
-            "bodies to closures once and runs them, 'ast' walks the tree; "
+            "bodies to closures once and runs them, 'codegen' emits real "
+            "Python source per function/fragment, 'ast' walks the tree; "
             "observable behaviour is bit-identical",
         )
 

@@ -7,10 +7,10 @@ Every other configuration must agree with it on *observable behaviour*
 only in execution strategy must also agree on the fine-grained accounting:
 
 * ``original-compiled`` — same step count as the reference;
-* ``split-ast`` vs ``split-compiled`` (and their ``-batch`` variants) —
-  identical open/hidden step counts, round-trip counts, and transcript
-  event-kind sequences (the engines are documented bit-identical,
-  docs/ENGINE.md);
+* ``split-ast`` vs ``split-compiled`` and ``split-codegen`` vs
+  ``split-compiled`` (and their ``-batch`` variants) — identical
+  open/hidden step counts, round-trip counts, and transcript event-kind
+  sequences (the engines are documented bit-identical, docs/ENGINE.md);
 * ``socket-*`` — the real TCP transport must carry exactly the traffic
   the simulated channel accounts for (plus the one ``hello`` handshake
   round trip when batching is on, docs/PROTOCOL.md);
@@ -61,7 +61,7 @@ class Config:
         return "<Config %s>" % self.name
 
 
-#: the full matrix: original/split x ast/compiled x batching x transport.
+#: the full matrix: original/split x ast/compiled/codegen x batching x transport.
 #: socket configs pick the *client* engine; the in-process server runs the
 #: default engine, so ``socket-ast`` additionally crosses engines between
 #: the two sides.
@@ -72,12 +72,16 @@ CONFIGS = (
     Config("split-ast-batch", split=True, engine="ast", batching=True),
     Config("split-compiled-batch", split=True, engine="compiled",
            batching=True),
+    Config("split-codegen", split=True, engine="codegen"),
+    Config("split-codegen-batch", split=True, engine="codegen",
+           batching=True),
     Config("socket-ast", split=True, engine="ast", socket=True),
     Config("socket-compiled", split=True, engine="compiled", socket=True),
     Config("socket-compiled-batch", split=True, engine="compiled",
            batching=True, socket=True),
     Config("socket-compiled-traced", split=True, engine="compiled",
            socket=True, trace=True),
+    Config("socket-codegen", split=True, engine="codegen", socket=True),
 )
 
 CONFIG_NAMES = tuple(c.name for c in CONFIGS)
@@ -90,6 +94,9 @@ _TRAFFIC_PAIRS = (
     ("split-ast-batch", "split-compiled-batch", 0),
     ("socket-ast", "split-ast", 0),
     ("socket-compiled", "split-compiled", 0),
+    ("split-codegen", "split-compiled", 0),
+    ("split-codegen-batch", "split-compiled-batch", 0),
+    ("socket-codegen", "split-codegen", 0),
     ("socket-compiled-batch", "split-compiled-batch", 1),
     # tracing rides in frame fields and an uncounted handshake frame, so a
     # traced run's accounting is identical to the plain socket run's
@@ -233,7 +240,9 @@ def _diff_accounting(result, present, args):
                 "%d vs %d open steps" % (oc.steps_open, base.steps_open),
                 args))
     for eng_pair in (("split-ast", "split-compiled"),
-                     ("split-ast-batch", "split-compiled-batch")):
+                     ("split-ast-batch", "split-compiled-batch"),
+                     ("split-codegen", "split-compiled"),
+                     ("split-codegen-batch", "split-compiled-batch")):
         a, b = (present.get(n) for n in eng_pair)
         if a is None or b is None or a.error or b.error:
             continue

@@ -4,15 +4,38 @@ component in the interpreter, the hidden component on a
 :class:`~repro.runtime.server.HiddenServer`, with all traffic flowing
 through an accounting :class:`~repro.runtime.channel.Channel`."""
 
-from repro.runtime.values import ArrayValue, ObjectValue, binary_op, unary_op
-from repro.runtime.interpreter import Interpreter, RuntimeErr, StepLimitExceeded
-from repro.runtime.channel import Channel, LatencyModel, Transcript
-from repro.runtime.server import HiddenServer
-from repro.runtime.splitrun import RunResult, run_original, run_split, check_equivalence
+#: The engine registry (docs/ENGINE.md).  This is the single source of
+#: truth for ``--engine`` choices everywhere — the CLI, the benchmark
+#: harness, and the fuzz oracle all import it, so adding an execution
+#: tier is a one-line change here.  Defined *before* the submodule
+#: imports below so that runtime submodules (compile.py, codegen.py)
+#: can import it during partial package initialisation.
+ENGINES = ("ast", "compiled", "codegen")
+
+#: the engine used when none is requested
+DEFAULT_ENGINE = "compiled"
+
+
+def validate_engine(engine):
+    """Return ``engine`` unchanged if it names a known execution engine."""
+    if engine not in ENGINES:
+        raise ValueError(
+            "unknown engine %r (choose from %s)" % (engine, ", ".join(ENGINES))
+        )
+    return engine
+
+
+from repro.runtime.values import ArrayValue, ObjectValue, binary_op, unary_op  # noqa: E402
+from repro.runtime.interpreter import Interpreter, RuntimeErr, StepLimitExceeded  # noqa: E402
+from repro.runtime.channel import Channel, LatencyModel, Transcript  # noqa: E402
+from repro.runtime.server import HiddenServer  # noqa: E402
+from repro.runtime.splitrun import RunResult, run_original, run_split, check_equivalence  # noqa: E402
 
 __all__ = [
     "ArrayValue",
     "Channel",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "HiddenServer",
     "Interpreter",
     "LatencyModel",
@@ -26,4 +49,5 @@ __all__ = [
     "run_original",
     "run_split",
     "unary_op",
+    "validate_engine",
 ]

@@ -46,20 +46,13 @@ from repro.runtime.values import (
 M_COMPILE_SECONDS = "repro_engine_compile_seconds"
 M_ENGINE = "repro_engine_total"
 
-ENGINES = ("ast", "compiled")
-DEFAULT_ENGINE = "compiled"
+# The engine registry lives in repro/runtime/__init__.py (defined there
+# before any submodule import, so this works during package init); the
+# names are re-exported here for backward compatibility.
+from repro.runtime import DEFAULT_ENGINE, ENGINES, validate_engine  # noqa: E402,F401
 
 #: batch-cache miss sentinel (prefetched values may legitimately be falsy)
 _MISSING = object()
-
-
-def validate_engine(engine):
-    """Return ``engine`` unchanged if it names a known execution engine."""
-    if engine not in ENGINES:
-        raise ValueError(
-            "unknown engine %r (choose from %s)" % (engine, ", ".join(ENGINES))
-        )
-    return engine
 
 
 def count_engine(side, engine):
@@ -72,13 +65,19 @@ def count_engine(side, engine):
         ).inc()
 
 
-def _observe_compile(side, seconds):
+def _observe_compile(side, seconds, engine="compiled"):
+    """Record one body/fragment lowering in the compile-cost histogram.
+
+    Labelled by ``side`` *and* ``engine`` so the closure tier's and the
+    codegen tier's compilation costs stay distinguishable in
+    ``/metrics.json`` and ``repro stats`` (docs/ENGINE.md)."""
     registry = obs.get_registry()
     if registry.enabled:
         registry.histogram(
             M_COMPILE_SECONDS,
-            help="closure-compilation wall seconds per function/fragment",
+            help="compilation wall seconds per function/fragment",
             side=side,
+            engine=engine,
         ).observe(seconds)
 
 

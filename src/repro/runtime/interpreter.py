@@ -27,6 +27,7 @@ from repro.runtime.compile import (  # noqa: F401 (re-exported)
     count_engine,
     validate_engine,
 )
+from repro.runtime.codegen import OpenCodegen
 from repro.runtime.values import (  # noqa: F401 (StepLimitExceeded re-exported)
     ArrayValue,
     ObjectValue,
@@ -117,8 +118,9 @@ class Interpreter:
         """``engine`` selects the execution strategy (docs/ENGINE.md):
         ``"compiled"`` (default) lowers each function body to closures on
         first call via :class:`~repro.runtime.compile.OpenCompiler`;
-        ``"ast"`` walks the tree directly.  Both are observably
-        bit-identical."""
+        ``"codegen"`` emits real Python source per function via
+        :class:`~repro.runtime.codegen.OpenCodegen`; ``"ast"`` walks the
+        tree directly.  All three are observably bit-identical."""
         self.program = program
         self.hidden = hidden_runtime
         self.max_steps = max_steps
@@ -151,6 +153,15 @@ class Interpreter:
         self._compiler = (
             OpenCompiler(self._functions, self._methods, self._classes)
             if self.engine == "compiled"
+            else None
+        )
+        self._codegen = (
+            OpenCodegen(
+                self._functions, self._methods, self._classes,
+                globals_names=frozenset(self.globals),
+                counting=registry.enabled,
+            )
+            if self.engine == "codegen"
             else None
         )
         count_engine("open", self.engine)
@@ -225,6 +236,11 @@ class Interpreter:
                 "call depth exceeded %d (unbounded recursion?)" % self.max_call_depth
             )
         try:
+            codegen = self._codegen
+            if codegen is not None:
+                # generated bodies return natively (deopt wrappers catch
+                # _Return internally), so no exception round-trip here
+                return codegen.body(fn)(self, env)
             compiler = self._compiler
             if compiler is not None:
                 for thunk in compiler.body(fn):

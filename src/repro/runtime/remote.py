@@ -36,7 +36,7 @@ import time
 
 from repro import obs
 from repro.runtime.channel import Channel, LatencyModel
-from repro.runtime.compile import DEFAULT_ENGINE
+from repro.runtime import DEFAULT_ENGINE
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.server import Tenant
 from repro.runtime.splitrun import RunResult

@@ -32,6 +32,7 @@ from repro.runtime.compile import (
     count_engine,
     validate_engine,
 )
+from repro.runtime.codegen import codegen_fragment
 from repro.runtime.values import (
     RuntimeErr,
     binary_op,
@@ -161,8 +162,10 @@ class HiddenServer:
 
         ``engine`` selects the fragment execution strategy (docs/ENGINE.md):
         ``"compiled"`` (default) lowers each fragment to closures on first
-        call via :func:`repro.runtime.compile.compile_fragment`; ``"ast"``
-        walks the tree.  Both are observably bit-identical.
+        call via :func:`repro.runtime.compile.compile_fragment`;
+        ``"codegen"`` emits real Python source per fragment via
+        :func:`repro.runtime.codegen.codegen_fragment`; ``"ast"`` walks
+        the tree.  All three are observably bit-identical.
         """
         self.registry = registry
         self.channel = channel
@@ -178,7 +181,7 @@ class HiddenServer:
         self._prefetch_cache = {}  # id(fragment) -> (stmt_map, result_reads)
         self.engine = validate_engine(engine)
         # id(fragment) -> CompiledFragment; None when running the AST engine
-        self._compiled = {} if self.engine == "compiled" else None
+        self._compiled = {} if self.engine in ("compiled", "codegen") else None
         count_engine("hidden", self.engine)
         registry = obs.get_registry()
         self._registry = registry if registry.enabled else None
@@ -263,7 +266,12 @@ class HiddenServer:
         key = id(fragment)
         compiled = self._compiled.get(key)
         if compiled is None:
-            compiled = compile_fragment(fragment, storage_map)
+            if self.engine == "codegen":
+                compiled = codegen_fragment(
+                    fragment, storage_map, self._registry is not None
+                )
+            else:
+                compiled = compile_fragment(fragment, storage_map)
             self._compiled[key] = compiled
         return compiled
 

@@ -15,7 +15,7 @@ Absolute numbers are arbitrary; the *ratio* after/before — the paper's
 
 from repro import obs
 from repro.runtime.channel import Channel, LatencyModel
-from repro.runtime.compile import DEFAULT_ENGINE
+from repro.runtime import DEFAULT_ENGINE
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.server import HiddenServer
 from repro.runtime.values import RuntimeErr

@@ -1,10 +1,13 @@
-"""Differential tests: the compiled engine is bit-identical to the AST engine.
+"""Differential tests: every engine is bit-identical to the AST engine.
 
-Every example program and every Table 5 workload runs under both engines —
-original and split, batching on and off — and must agree on outputs, return
-values, step counts, per-statement-kind metric counts, and the full channel
-transcript.  Error paths (step limit, runtime errors) must agree on message
-text and on the partial metrics flushed while aborting.
+Every example program and every Table 5 workload runs under all registered
+engines (``repro.runtime.ENGINES``: ast, compiled, codegen) — original and
+split, batching on and off — and must agree on outputs, return values, step
+counts, per-statement-kind metric counts, and the full channel transcript.
+Error paths (step limit, runtime errors) must agree on message text and on
+the partial metrics flushed while aborting.  The codegen engine must
+additionally achieve this without deopting to the closure tier on any of
+these programs.
 """
 
 import pathlib
@@ -15,8 +18,10 @@ from repro import obs
 from repro.core.pipeline import auto_split
 from repro.core.program import split_program
 from repro.lang import check_program, parse_program
+from repro.runtime import ENGINES
 from repro.runtime.channel import LatencyModel
-from repro.runtime.compile import ENGINES, M_COMPILE_SECONDS, M_ENGINE
+from repro.runtime.codegen import M_DEOPT
+from repro.runtime.compile import M_COMPILE_SECONDS, M_ENGINE
 from repro.runtime.interpreter import M_STEPS, M_STMTS, Interpreter, StepLimitExceeded
 from repro.runtime.splitrun import run_split
 from repro.runtime.values import RuntimeErr
@@ -43,10 +48,16 @@ def _stmt_counts(registry):
     return counts
 
 
+def _deopts(registry):
+    return sum(m.value for m in registry.collect() if m.name == M_DEOPT)
+
+
 def _observed_original(program, args, engine):
     with obs.telemetry() as (registry, _tracer):
         interp = Interpreter(program, engine=engine)
         value = interp.run("main", args)
+        if engine == "codegen":
+            assert _deopts(registry) == 0, "codegen deopted"
     return {
         "value": value,
         "output": list(interp.output),
@@ -61,6 +72,8 @@ def _observed_split(sp, args, engine, batching):
             sp, args=args, latency=LatencyModel.instant(),
             batching=batching, engine=engine,
         )
+        if engine == "codegen":
+            assert _deopts(registry) == 0, "codegen deopted"
     return {
         "value": result.value,
         "output": result.output,
@@ -76,16 +89,20 @@ def _observed_split(sp, args, engine, batching):
 
 def _assert_engines_agree_original(program, args):
     observed = {e: _observed_original(program, args, e) for e in ENGINES}
-    assert observed["ast"] == observed["compiled"]
+    for engine in ENGINES:
+        assert observed["ast"] == observed[engine], (
+            "engine %r diverged from ast" % engine
+        )
     assert observed["ast"]["steps"] > 0
 
 
 def _assert_engines_agree_split(sp, args):
     for batching in (False, True):
         observed = {e: _observed_split(sp, args, e, batching) for e in ENGINES}
-        assert observed["ast"] == observed["compiled"], (
-            "engines diverged (batching=%r)" % batching
-        )
+        for engine in ENGINES:
+            assert observed["ast"] == observed[engine], (
+                "engine %r diverged from ast (batching=%r)" % (engine, batching)
+            )
         assert observed["ast"]["events"]
 
 
@@ -189,7 +206,8 @@ def test_step_limit_identical_and_metrics_flushed():
             "stmt_counts": _stmt_counts(registry),
             "steps_metric": registry.value(M_STEPS, side="open"),
         }
-    assert observed["ast"] == observed["compiled"]
+    for engine in ENGINES:
+        assert observed["ast"] == observed[engine], engine
     assert observed["ast"]["message"] == "exceeded 100 steps"
     # the aborted run still published its partial counts (try/finally)
     assert observed["ast"]["steps_metric"] == observed["ast"]["steps"]
@@ -204,7 +222,8 @@ def test_runtime_error_identical():
         with pytest.raises(RuntimeErr) as exc:
             interp.run("main", (5,))
         messages[engine] = str(exc.value)
-    assert messages["ast"] == messages["compiled"]
+    for engine in ENGINES:
+        assert messages["ast"] == messages[engine], engine
     assert messages["ast"] == "array index 5 out of bounds [0, 3)"
 
 
@@ -227,7 +246,8 @@ def test_hidden_abort_flushes_partial_metrics():
             "hidden_steps": registry.value(M_STEPS, side="hidden"),
             "stmt_counts": _stmt_counts(registry),
         }
-    assert observed["ast"] == observed["compiled"]
+    for engine in ENGINES:
+        assert observed["ast"] == observed[engine], engine
     assert observed["ast"]["message"] == "hidden server exceeded 200 steps"
     assert observed["ast"]["hidden_steps"] > 0
 
@@ -254,13 +274,41 @@ def test_function_bodies_compile_once():
         assert interp._compiler.body(program.functions[0]) is first
 
 
+def test_codegen_bodies_compile_once():
+    program = _parse(TIGHT_SRC)
+    with obs.telemetry() as (registry, _tracer):
+        interp = Interpreter(program, engine="codegen")
+        interp.run("main", (10,))
+        assert _compile_count(registry, "open") == 1
+        first = interp._codegen.body(program.functions[0])
+        interp.run("main", (10,))
+        assert _compile_count(registry, "open") == 1  # cache hit, no recompile
+        assert interp._codegen.body(program.functions[0]) is first
+
+
 def test_engine_counter_labels():
     program = _parse(TIGHT_SRC)
     with obs.telemetry() as (registry, _tracer):
         Interpreter(program, engine="compiled")
         Interpreter(program, engine="ast")
+        Interpreter(program, engine="codegen")
     assert registry.value(M_ENGINE, engine="compiled", side="open") == 1
     assert registry.value(M_ENGINE, engine="ast", side="open") == 1
+    assert registry.value(M_ENGINE, engine="codegen", side="open") == 1
+
+
+def test_compile_seconds_engine_label():
+    # satellite fix: compile-cost telemetry distinguishes the tiers
+    program = _parse(TIGHT_SRC)
+    with obs.telemetry() as (registry, _tracer):
+        Interpreter(program, engine="compiled").run("main", (5,))
+        Interpreter(program, engine="codegen").run("main", (5,))
+    counts = {
+        m.labels.get("engine"): m.count
+        for m in registry.collect()
+        if m.name == M_COMPILE_SECONDS and m.labels.get("side") == "open"
+    }
+    assert counts == {"compiled": 1, "codegen": 1}
 
 
 def test_unknown_engine_rejected():

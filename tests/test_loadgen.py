@@ -133,6 +133,22 @@ def test_run_loadgen_against_two_tenant_daemon():
         assert registry.counter(M_SESSIONS, program="beta").value == 3
 
 
+def test_run_loadgen_codegen_engine_smoke():
+    # a daemon serving with the codegen tier answers a 2-tenant replay
+    # with zero protocol errors (ISSUE 8 loadgen sanity)
+    sp = make()
+    script = script_from_transcript(run_split(sp, args=(3,)).channel.transcript)
+    tenants = [Tenant.from_program("alpha", sp),
+               Tenant.from_program("beta", sp)]
+    with remote_server(tenants=tenants, engine="codegen") as address:
+        report_a = run_loadgen(address, script, clients=2, program="alpha")
+        report_b = run_loadgen(address, script, clients=2, program="beta")
+    for report in (report_a, report_b):
+        assert report["errors"] == {"protocol": 0, "reply": 0,
+                                    "skipped_ops": 0}
+        assert report["ops"] == 2 * len(script)
+
+
 def test_run_loadgen_open_loop_is_seeded():
     sp = make()
     script = script_from_transcript(run_split(sp, args=(3,)).channel.transcript)

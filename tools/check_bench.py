@@ -1,12 +1,15 @@
 """Guard the committed interpreter-throughput results (BENCH_interp.json).
 
-The compiled engine exists to be faster; this check fails the build if the
-committed numbers ever say otherwise.  Two thresholds:
+The compiled tiers exist to be faster; this check fails the build if the
+committed numbers ever say otherwise.  Four thresholds:
 
 * every workload must show ``speedup >= --min-speedup`` (default 1.0 — the
-  compiled engine is never allowed to be slower than the AST walker), and
+  closure engine is never allowed to be slower than the AST walker),
 * the tight-loop stress program must hold ``--tight-speedup`` (default 2.0,
-  the target from the engine work; see docs/ENGINE.md).
+  the closure-tier target; see docs/ENGINE.md),
+* every workload must show ``codegen_speedup >= --min-codegen-speedup``
+  (default 2.0 — the codegen tier's per-row floor from the engine work),
+* the tight loop must hold ``--tight-codegen-speedup`` (default 8.0).
 
 Regenerate the file with::
 
@@ -25,8 +28,17 @@ import sys
 
 DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_interp.json"
 
+REQUIRED_FIELDS = (
+    "ast_stmts_per_s",
+    "compiled_stmts_per_s",
+    "codegen_stmts_per_s",
+    "speedup",
+    "codegen_speedup",
+)
 
-def check(path, min_speedup=1.0, tight_speedup=2.0):
+
+def check(path, min_speedup=1.0, tight_speedup=2.0,
+          min_codegen_speedup=2.0, tight_codegen_speedup=8.0):
     """Return a list of problem strings (empty means the file is healthy)."""
     problems = []
     try:
@@ -41,7 +53,7 @@ def check(path, min_speedup=1.0, tight_speedup=2.0):
         problems.append("missing the tight_loop stress entry")
 
     for name, row in sorted(workloads.items()):
-        for field in ("ast_stmts_per_s", "compiled_stmts_per_s", "speedup"):
+        for field in REQUIRED_FIELDS:
             if not isinstance(row.get(field), (int, float)):
                 problems.append("%s: missing field %r" % (name, field))
                 break
@@ -50,12 +62,21 @@ def check(path, min_speedup=1.0, tight_speedup=2.0):
                 problems.append(
                     "%s: compiled engine slower than allowed "
                     "(%.2fx < %.2fx)" % (name, row["speedup"], min_speedup))
+            if row["codegen_speedup"] < min_codegen_speedup:
+                problems.append(
+                    "%s: codegen engine below its floor (%.2fx < %.2fx)"
+                    % (name, row["codegen_speedup"], min_codegen_speedup))
     tight = workloads.get("tight_loop")
     if tight and isinstance(tight.get("speedup"), (int, float)):
         if tight["speedup"] < tight_speedup:
             problems.append(
                 "tight_loop: %.2fx below the %.2fx target"
                 % (tight["speedup"], tight_speedup))
+    if tight and isinstance(tight.get("codegen_speedup"), (int, float)):
+        if tight["codegen_speedup"] < tight_codegen_speedup:
+            problems.append(
+                "tight_loop: codegen %.2fx below the %.2fx target"
+                % (tight["codegen_speedup"], tight_codegen_speedup))
     return problems
 
 
@@ -64,16 +85,20 @@ def main(argv=None):
     parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH))
     parser.add_argument("--min-speedup", type=float, default=1.0)
     parser.add_argument("--tight-speedup", type=float, default=2.0)
+    parser.add_argument("--min-codegen-speedup", type=float, default=2.0)
+    parser.add_argument("--tight-codegen-speedup", type=float, default=8.0)
     args = parser.parse_args(argv)
 
-    problems = check(args.path, args.min_speedup, args.tight_speedup)
+    problems = check(args.path, args.min_speedup, args.tight_speedup,
+                     args.min_codegen_speedup, args.tight_codegen_speedup)
     if problems:
         for problem in problems:
             print("BENCH: %s" % problem)
         return 1
     report = json.loads(pathlib.Path(args.path).read_text())
     for name, row in sorted(report["workloads"].items()):
-        print("BENCH ok: %-12s %.2fx" % (name, row["speedup"]))
+        print("BENCH ok: %-12s compiled %.2fx  codegen %.2fx"
+              % (name, row["speedup"], row["codegen_speedup"]))
     return 0
 
 

@@ -13,7 +13,9 @@ Two failure modes that rot silently:
    citing an HTTP endpoint the exposition server does not route
    (``ROUTES`` in ``src/repro/obs/httpexpo.py``) or a ``--flag`` no
    ``add_argument`` in ``src/repro/cli.py`` defines; any doc invoking a
-   ``repro <sub>`` subcommand no ``add_parser`` registers.
+   ``repro <sub>`` subcommand no ``add_parser`` registers; any
+   ``--engine X`` choice shown in a doc that the engine registry
+   (``ENGINES`` in ``src/repro/runtime/__init__.py``) does not list.
 
 Exit status 0 when clean, 1 with a findings listing otherwise.  No
 dependencies beyond the standard library, so it runs anywhere::
@@ -51,6 +53,10 @@ _FLAG_DEF = re.compile(r'add_argument\(\s*\n?\s*"(--[a-z][a-z-]+)"')
 _SUBCOMMAND_USE = re.compile(r"(?:python -m repro|`repro) ([a-z][a-z0-9-]+)")
 #: subcommands the CLI defines
 _SUBCOMMAND_DEF = re.compile(r'add_parser\(\s*\n?\s*"([a-z][a-z0-9-]+)"')
+#: engine names passed to --engine in docs
+_ENGINE_USE = re.compile(r"--engine[ =]([a-z]+)")
+#: the engine registry tuple in runtime/__init__.py
+_ENGINE_DEF = re.compile(r"^ENGINES\s*=\s*\(([^)]*)\)", re.MULTILINE)
 
 
 def _rel(path):
@@ -114,6 +120,24 @@ def defined_subcommands():
     return set(_SUBCOMMAND_DEF.findall(source))
 
 
+def defined_engines():
+    source = (REPO / "src/repro/runtime/__init__.py").read_text(encoding="utf-8")
+    match = _ENGINE_DEF.search(source)
+    if match is None:
+        return set()
+    return set(re.findall(r'"([a-z]+)"', match.group(1)))
+
+
+def check_engines(path, text, engines, errors):
+    """Every ``--engine X`` a doc shows must name a registered engine."""
+    for name in sorted(set(_ENGINE_USE.findall(text))):
+        if name not in engines:
+            errors.append(
+                "%s: unknown --engine choice %r (not in the "
+                "repro.runtime.ENGINES registry)" % (_rel(path), name)
+            )
+
+
 def check_subcommands(path, text, subcommands, errors):
     """Every ``repro <sub>`` invocation a doc shows must be a subcommand
     the CLI parser actually registers."""
@@ -159,15 +183,17 @@ def main():
     routes = defined_routes()
     flags = defined_flags()
     subcommands = defined_subcommands()
-    if not routes or not flags or not subcommands:
-        print("check_docs: found no routes/flags/subcommands in src/ — "
-              "the definition regexes are broken", file=sys.stderr)
+    engines = defined_engines()
+    if not routes or not flags or not subcommands or not engines:
+        print("check_docs: found no routes/flags/subcommands/engines in "
+              "src/ — the definition regexes are broken", file=sys.stderr)
         return 1
     errors = []
     for path in doc_files():
         text = path.read_text(encoding="utf-8")
         check_links(path, text, errors)
         check_metrics(path, text, known, errors)
+        check_engines(path, text, engines, errors)
         if path.name != "ROADMAP.md":  # the roadmap names future surface
             check_subcommands(path, text, subcommands, errors)
         if path.name in ("OBSERVABILITY.md", "OPERATIONS.md"):
