@@ -432,6 +432,91 @@ def run_loadgen_experiment(scale=0.3, clients_total=100, iterations=1,
     return ExperimentResult("loadgen", data, table)
 
 
+# -- Continuous profiling over the corpora ------------------------------------
+
+
+def run_profile_experiment(scale=0.3, interval_ms=1.0, min_duration_s=1.2,
+                           engines=None, output=None, runs=None):
+    """Sample every Table 5 corpus per engine and attribute the time.
+
+    Each cell runs the split corpus under the stack sampler
+    (:mod:`repro.obs.profile`), repeating the run until ``min_duration_s``
+    of wall time was sampled, and records how much of it the frame-tag
+    registry could attribute to ``(fn/fragment, engine, side)`` rows plus
+    the codegen deopt attribution.  ``output`` writes the machine-readable
+    document (``BENCH_profile.json``, gated by ``tools/check_profile.py``:
+    >=95% attribution everywhere, zero codegen deopts).
+    """
+    import json
+
+    from repro.obs import profile as profmod
+    from repro.obs.events import FlightRecorder
+    from repro.runtime import ENGINES
+
+    engines = list(engines) if engines else list(ENGINES)
+    runs = runs if runs is not None else TABLE5_RUNS
+    picked = []
+    for run in runs:  # first driver invocation of each benchmark
+        if all(p.benchmark != run.benchmark for p in picked):
+            picked.append(run)
+    table = Table(
+        "Continuous profiling: sample attribution per corpus and engine",
+        ["Benchmark", "Engine", "Samples", "Attributed", "Hottest (self)",
+         "Deopts"],
+    )
+    corpora = {}
+    for run in picked:
+        sp = split_corpus(run.benchmark, scale)
+        cells = corpora.setdefault(run.benchmark, {})
+        for engine in engines:
+            recorder = FlightRecorder()
+            runs_done = 0
+            with obs.telemetry(recorder=recorder) as (registry, _tracer):
+                sampler = profmod.StackSampler(
+                    interval_s=interval_ms / 1000.0)
+                with sampler:
+                    while True:
+                        run_split(sp, args=(run.n, run.m),
+                                  latency=LatencyModel.instant(),
+                                  engine=engine)
+                        runs_done += 1
+                        if sampler.elapsed_s() >= min_duration_s:
+                            break
+                deopts = profmod.deopt_report(registry, recorder)
+            prof = sampler.result
+            doc = prof.to_dict()
+            cells[engine] = {
+                "samples": doc["samples"],
+                "attributed": doc["attributed"],
+                "attributed_pct": doc["attributed_pct"],
+                "duration_s": doc["duration_s"],
+                "runs": runs_done,
+                "top": doc["rows"][:5],
+                "deopts": deopts,
+            }
+            hottest = doc["rows"][0] if doc["rows"] else None
+            table.add_row(
+                run.benchmark, engine, doc["samples"],
+                "%.1f%%" % doc["attributed_pct"],
+                "%s (%s, %.0f%%)" % (
+                    hottest["fn"], hottest["side"], hottest["self_pct"]
+                ) if hottest else "-",
+                deopts["total"],
+            )
+    data = {
+        "scale": scale,
+        "interval_ms": interval_ms,
+        "min_duration_s": min_duration_s,
+        "engines": engines,
+        "corpora": corpora,
+    }
+    if output:
+        with open(output, "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return ExperimentResult("profile", data, table)
+
+
 # -- Figures -----------------------------------------------------------------
 
 

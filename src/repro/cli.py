@@ -92,12 +92,17 @@ def _telemetry_session(args, out=None):
     While active, the live exposition endpoint (``--expo-port``) serves the
     registry over HTTP.  At exit — including a SIGINT/SIGTERM delivered as
     :class:`KeyboardInterrupt` — the registry is dumped to ``--metrics`` as
-    JSON and the flight recorder stream to ``--log-events``."""
+    JSON and the flight recorder stream to ``--log-events``.
+
+    Yields the live :class:`~repro.obs.httpexpo.ExpositionServer` (or
+    ``None`` without ``--expo-port``) so commands can attach state the
+    endpoint serves — ``serve`` wires its drain probe into ``/healthz``
+    and its snapshot ring into ``/timeseries.json``."""
     metrics_path = getattr(args, "metrics", None)
     events_path = getattr(args, "log_events", None)
     expo_port = getattr(args, "expo_port", None)
     if metrics_path is None and events_path is None and expo_port is None:
-        yield
+        yield None
         return
     from repro import obs
     from repro.obs import export
@@ -127,7 +132,7 @@ def _telemetry_session(args, out=None):
                         "metrics exposition on http://%s:%d/metrics" % (host, port),
                         file=out,
                     )
-            yield
+            yield expo
         finally:
             if expo is not None:
                 expo.stop()
@@ -353,7 +358,16 @@ def _load_tenants(manifests):
 def cmd_serve(args, out):
     from repro.runtime.remote import HiddenComponentServer
 
-    with _terminate_as_interrupt(), _telemetry_session(args, out):
+    snapshot_interval = getattr(args, "snapshot_interval", None)
+    if snapshot_interval is not None:
+        if getattr(args, "expo_port", None) is None:
+            print("error: --snapshot-interval requires --expo-port (the "
+                  "ring is served at /timeseries.json)", file=out)
+            return 2
+        if snapshot_interval <= 0:
+            print("error: --snapshot-interval must be positive", file=out)
+            return 2
+    with _terminate_as_interrupt(), _telemetry_session(args, out) as expo:
         server = HiddenComponentServer(
             tenants=_load_tenants(args.manifest),
             host=args.host,
@@ -362,6 +376,23 @@ def cmd_serve(args, out):
             max_sessions=getattr(args, "max_sessions", None),
             idle_timeout_s=getattr(args, "idle_timeout", None),
         )
+        collector = None
+        if expo is not None:
+            # /healthz now reports the daemon's drain state, so probes and
+            # loadgen can tell a SIGTERM'd daemon from a live one
+            expo.health = (
+                lambda: "draining" if server._draining.is_set() else "ok"
+            )
+            if snapshot_interval is not None:
+                from repro.obs.timeseries import SnapshotCollector, TimeSeries
+
+                series = TimeSeries(interval_s=snapshot_interval)
+                expo.timeseries = series
+                collector = SnapshotCollector(
+                    expo.registry, series, tracer=expo.tracer,
+                    recorder=expo.recorder,
+                    extra_fn=lambda: {"health": expo.health()},
+                ).start()
         print("hidden component serving on %s:%d" % server.address, file=out)
         print("programs: %s" % ", ".join(server.programs), file=out)
         # SIGTERM drains gracefully: stop accepting, finish in-flight
@@ -380,6 +411,8 @@ def cmd_serve(args, out):
         except KeyboardInterrupt:
             pass
         finally:
+            if collector is not None:
+                collector.stop()
             server.shutdown()
             if previous is not None:
                 with contextlib.suppress(ValueError):
@@ -489,6 +522,122 @@ def cmd_audit(args, out):
     if args.fail_over_budget and report.over_budget():
         return 1
     return 0
+
+
+def cmd_profile(args, out):
+    """Sample a run's stacks and attribute time per (function/fragment,
+    engine, side); with --deopts, print why codegen bailed instead."""
+    from repro import obs
+    from repro.obs import profile as profmod
+    from repro.obs.events import FlightRecorder
+
+    if bool(args.corpus) == bool(args.file):
+        print("error: profile needs a source file or --corpus (not both)",
+              file=out)
+        return 2
+    if args.corpus:
+        from repro.workloads.corpora import build_corpus
+
+        corpus = build_corpus(args.corpus, scale=args.scale)
+        program, checker = corpus.program, corpus.checker
+    else:
+        program, checker = _load(args.file)
+    run_args = _parse_args_list(args.args)
+    engine = getattr(args, "engine", DEFAULT_ENGINE)
+    batching = getattr(args, "batching", "off") == "on"
+    recorder = FlightRecorder()
+    runs = 0
+    with obs.telemetry(recorder=recorder) as (registry, _tracer):
+        sp = None
+        if not args.original:
+            sp = _split_for(program, checker, args)
+            if not sp.splits:
+                print("nothing was split (no eligible function/variable); "
+                      "use --original to profile the unsplit program",
+                      file=out)
+                return 1
+        latency = _LATENCIES[args.latency]()
+        sampler = profmod.StackSampler(interval_s=args.interval / 1000.0)
+        # repeat the run until enough wall time was sampled — one corpus
+        # run is often shorter than a statistically useful sample window
+        with sampler:
+            while True:
+                if sp is not None:
+                    run_split(sp, entry=args.entry, args=run_args,
+                              latency=latency, batching=batching,
+                              engine=engine)
+                else:
+                    run_original(program, entry=args.entry, args=run_args,
+                                 engine=engine)
+                runs += 1
+                if sampler.elapsed_s() >= args.min_duration:
+                    break
+    prof = sampler.result
+    deopts = profmod.deopt_report(registry, recorder)
+    if args.deopts:
+        if args.format == "json":
+            print(json.dumps(deopts, indent=2, sort_keys=True), file=out)
+        else:
+            print(profmod.render_deopt_report(deopts), file=out)
+        return 0
+    if args.format == "collapsed":
+        text = prof.to_collapsed()
+    elif args.format == "json":
+        doc = {
+            "engine": engine,
+            "runs": runs,
+            "profile": prof.to_dict(),
+            "deopts": deopts,
+        }
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    else:
+        text = prof.report(top=args.top) + "\n"
+        if deopts["total"]:
+            text += ("  %d codegen deopt(s) recorded — repro profile "
+                     "--deopts ranks them\n" % deopts["total"])
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print("wrote %s" % args.output, file=out)
+    else:
+        print(text, file=out, end="")
+    return 0
+
+
+def cmd_top(args, out):
+    """Render a daemon's /timeseries.json ring as a terminal dashboard."""
+    import time as _time
+    import urllib.parse
+    import urllib.request
+
+    from repro.obs import timeseries as ts
+
+    is_url = args.source.startswith(("http://", "https://"))
+
+    def fetch():
+        if is_url:
+            url = args.source
+            if not url.endswith("/timeseries.json"):
+                url = urllib.parse.urljoin(url, "/timeseries.json")
+            with urllib.request.urlopen(url, timeout=5.0) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        with open(args.source) as f:
+            return json.load(f)
+
+    try:
+        if args.once or not is_url:
+            print(ts.render_top(fetch()), file=out)
+            return 0
+        while True:
+            # ANSI clear + home, then the frame — a plain-terminal `top`
+            print("\x1b[2J\x1b[H" + ts.render_top(fetch()), file=out,
+                  flush=True)
+            _time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print("error: cannot read %s: %s" % (args.source, exc), file=out)
+        return 2
 
 
 def cmd_graph(args, out):
@@ -719,8 +868,9 @@ def build_parser():
     def expo_flag(p):
         p.add_argument(
             "--expo-port", type=int, metavar="PORT", dest="expo_port",
-            help="serve live /metrics, /metrics.json, /healthz and /spans "
-            "over HTTP on this port for the duration (0 picks a free port)",
+            help="serve live /metrics, /metrics.json, /healthz, /spans "
+            "and /timeseries.json over HTTP on this port for the duration "
+            "(0 picks a free port)",
         )
 
     def batching_flag(p):
@@ -808,6 +958,13 @@ def build_parser():
         "--idle-timeout", type=float, metavar="SECONDS", dest="idle_timeout",
         help="close sessions whose connection stays silent longer than this",
     )
+    p.add_argument(
+        "--snapshot-interval", type=float, metavar="SECONDS",
+        dest="snapshot_interval",
+        help="record a metrics-registry snapshot into a bounded ring every "
+        "SECONDS and serve it at /timeseries.json (requires --expo-port; "
+        "consumed by 'repro top' and loadgen soak reports)",
+    )
     engine_flag(p)
     metrics_flag(p)
     events_flags(p)
@@ -848,7 +1005,9 @@ def build_parser():
     p.add_argument(
         "--scrape", metavar="URL",
         help="scrape this live /metrics.json endpoint before and after "
-        "the run and include the daemon's per-program session counters",
+        "the run (plus the /timeseries.json ring covering the run, when "
+        "the daemon serves one) and include the daemon's per-program "
+        "counters in the report",
     )
     p.add_argument(
         "--slo", metavar="PCT=LIMIT,...",
@@ -914,6 +1073,78 @@ def build_parser():
         help="exit 1 when any ILP exceeds its budget",
     )
     p.set_defaults(fn=cmd_audit)
+
+    from repro.obs.profile import PROFILE_FORMATS
+
+    p = sub.add_parser(
+        "profile",
+        help="sample a run's stacks and attribute time per function/"
+        "fragment, engine, and side (docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("file", nargs="?",
+                   help="MiniJava source file (or use --corpus)")
+    p.add_argument("--corpus", choices=_corpus_names(),
+                   help="profile a generated Table 5 evaluation corpus "
+                   "instead of a source file")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="corpus population scale (with --corpus)")
+    p.add_argument("--entry", default="main", help="entry function")
+    p.add_argument("--function", help="function to split (with --var)")
+    p.add_argument("--var", help="hidden variable (with --function)")
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--latency", choices=sorted(_LATENCIES), default="lan")
+    batching_flag(p)
+    engine_flag(p)
+    p.add_argument(
+        "--original", action="store_true",
+        help="profile the unsplit program (what 'run' executes) instead "
+        "of the split run",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="MS",
+        help="sampling interval in milliseconds (default: 1.0)",
+    )
+    p.add_argument(
+        "--min-duration", type=float, default=0.5, metavar="SECONDS",
+        dest="min_duration",
+        help="repeat the run until at least this much wall time was "
+        "sampled (default: 0.5)",
+    )
+    p.add_argument("--top", type=int, default=25,
+                   help="rows shown in the text report (default: 25)")
+    p.add_argument(
+        "--deopts", action="store_true",
+        help="print the ranked 'why codegen bailed' deopt attribution "
+        "(reason-labelled counter joined with per-site deopt events) "
+        "instead of the time profile",
+    )
+    p.add_argument(
+        "--format", choices=list(PROFILE_FORMATS), default="text",
+        help="'text' (ranked table), 'json' (profile + deopt document), "
+        "or 'collapsed' (speedscope / flamegraph.pl stack lines)",
+    )
+    p.add_argument("--output", metavar="PATH",
+                   help="write the report here instead of stdout")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a daemon's /timeseries.json "
+        "ring (docs/OPERATIONS.md)",
+    )
+    p.add_argument(
+        "source",
+        help="daemon exposition URL (http://host:port, from serve "
+        "--expo-port --snapshot-interval) or a saved /timeseries.json "
+        "document (rendered once)",
+    )
+    p.add_argument(
+        "--refresh", type=float, default=2.0, metavar="SECONDS",
+        help="redraw interval when following a URL (default: 2.0)",
+    )
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (file sources always do)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("graph", help="emit DOT graphs (cfg/ddg/callgraph/split)")
     common(p)

@@ -12,6 +12,7 @@ import random
 import re
 import threading
 import time
+import urllib.parse
 import urllib.request
 
 from repro import obs
@@ -105,12 +106,14 @@ def run_loadgen(address, script, clients=8, iterations=1, mode="closed",
 
     scraped_before = scrape_metrics(scrape) if scrape else None
     t0 = time.perf_counter()
+    run_t0 = time.time()
     for w in workers:
         w.start()
     for w in workers:
         w.join()
     wall_s = time.perf_counter() - t0
     scraped_after = scrape_metrics(scrape) if scrape else None
+    series = scrape_timeseries(scrape, since=run_t0) if scrape else None
 
     latencies = []
     op_counts = {}
@@ -167,6 +170,8 @@ def run_loadgen(address, script, clients=8, iterations=1, mode="closed",
         report["slo"] = check_slo(latency_ms, slo)
     if scraped_before is not None or scraped_after is not None:
         report["scrape"] = {"before": scraped_before, "after": scraped_after}
+        if series is not None:
+            report["scrape"]["series"] = series
     _record_metrics(report, latencies)
     return report
 
@@ -208,6 +213,44 @@ def scrape_metrics(url, names_prefix="repro_remote_"):
             "{%s=%s}" % (k, labels[k]) for k in sorted(labels))
         out[key] = sample.get("value", sample.get("count"))
     return out
+
+
+def scrape_timeseries(url, names_prefix="repro_remote_", since=None):
+    """Fetch the daemon's ``/timeseries.json`` ring and reduce each
+    snapshot to its ``repro_remote_*`` samples — the report's per-interval
+    ``scrape.series`` block.
+
+    ``url`` is the same ``/metrics.json`` address ``--scrape`` takes; the
+    route is swapped here.  ``since`` (epoch seconds) drops snapshots taken
+    before the run started.  Returns ``None`` — a graceful omit, not an
+    error — for daemons without the route (pre-timeseries versions or
+    ``serve`` without ``--snapshot-interval``) or any fetch failure.
+    """
+    ring_url = urllib.parse.urljoin(url, "/timeseries.json")
+    try:
+        with urllib.request.urlopen(ring_url, timeout=5) as resp:
+            doc = json.loads(resp.read().decode())
+    except Exception:
+        return None
+    series = []
+    for snap in doc.get("snapshots", []):
+        if since is not None and snap.get("t", 0) < since:
+            continue
+        samples = {}
+        for sample in snap.get("metrics", []):
+            name = sample.get("name", "")
+            if not name.startswith(names_prefix):
+                continue
+            labels = sample.get("labels") or {}
+            key = name + "".join(
+                "{%s=%s}" % (k, labels[k]) for k in sorted(labels))
+            samples[key] = sample.get("value", sample.get("count"))
+        series.append({
+            "t": snap.get("t"),
+            "health": snap.get("health", "ok"),
+            "samples": samples,
+        })
+    return {"interval_s": doc.get("interval_s"), "snapshots": series}
 
 
 def render_report(report):

@@ -36,6 +36,9 @@ Event schema (``type`` field):
 ``server_send``  ``op, exec_us, ok`` — the matching reply leaving it
 ``trace_sync``   ``send_us, recv_us, server_us, offset_us,
                  skew_bound_us`` — one clock-alignment handshake
+``deopt``        ``side, fn, reason, where`` — one codegen fallback to
+                 the closure tier, with its reason code and source
+                 location (docs/OBSERVABILITY.md, "Deopt attribution")
 ===============  =====================================================
 
 All events also carry ``seq`` (monotonic, 1-based) and ``ts_us``
@@ -174,6 +177,13 @@ class FlightRecorder:
             "span_close", name=name, depth=depth, wall_s=wall_s, sim_ms=sim_ms
         )
 
+    def deopt(self, side, fn, reason, where):
+        """One codegen fallback to the closure tier: which function or
+        fragment bailed, the classified reason code, and the MiniJava
+        source location (``file:line`` or ``""`` when unknown)."""
+        return self.record("deopt", side=side, fn=fn, reason=reason,
+                           where=where)
+
     # -- reading ------------------------------------------------------------
 
     def by_type(self, etype):
@@ -215,6 +225,9 @@ class NullRecorder:
         return None
 
     def span_close(self, name, depth, wall_s, sim_ms):
+        return None
+
+    def deopt(self, side, fn, reason, where):
         return None
 
     def by_type(self, etype):

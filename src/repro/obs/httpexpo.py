@@ -5,12 +5,21 @@ previously observable only at exit, when ``--metrics`` dumped the registry.
 This module puts a tiny stdlib ``http.server`` in a daemon thread so the
 live process can be scraped like any other service (``--expo-port N``):
 
-============== =============================================== ==========
-``/metrics``      Prometheus text exposition of the registry    text/plain
-``/metrics.json`` JSON snapshot (same document as ``--metrics``) application/json
-``/healthz``      liveness probe, always ``ok``                 text/plain
-``/spans``        the tracer's per-phase summary                application/json
-============== =============================================== ==========
+=================== ============================================ ==========
+``/metrics``         Prometheus text exposition of the registry   text/plain
+``/metrics.json``    JSON snapshot (same document as --metrics)   application/json
+``/healthz``         liveness probe: ``ok`` or ``draining``       text/plain
+``/spans``           the tracer's per-phase summary               application/json
+``/timeseries.json`` snapshot ring (serve --snapshot-interval)    application/json
+=================== ============================================ ==========
+
+``/healthz`` reports what the host process says: ``repro serve`` wires
+its drain flag in (:attr:`ExpositionServer.health`), so a SIGTERM'd
+daemon answers ``draining`` while it finishes in-flight requests — load
+generators and ``repro top`` can tell a clean drain from a live daemon.
+The reply is always HTTP 200 (``urllib`` consumers treat non-2xx as an
+error; the body carries the state).  ``/timeseries.json`` is 404 until
+the host attaches a :class:`repro.obs.timeseries.TimeSeries`.
 
 Everything is read-only and computed per request from the live
 registry/tracer, so a scrape during a run sees the counters mid-flight —
@@ -30,18 +39,27 @@ CONTENT_TYPE_TEXT = "text/plain; charset=utf-8"
 
 #: served routes (documented in docs/OBSERVABILITY.md; the docs checker
 #: validates the doc's endpoint names against this table)
-ROUTES = ("/metrics", "/metrics.json", "/healthz", "/spans")
+ROUTES = ("/metrics", "/metrics.json", "/healthz", "/spans",
+          "/timeseries.json")
 
 
 class ExpositionServer:
     """Serves the active registry/tracer on ``host:port`` (port 0 picks an
-    ephemeral port; read :attr:`address` for the bound one)."""
+    ephemeral port; read :attr:`address` for the bound one).
+
+    ``health`` (no-arg callable returning the probe body, default
+    ``"ok"``) and ``timeseries`` (a :class:`~repro.obs.timeseries.
+    TimeSeries`, default ``None``) are plain attributes the host process
+    sets after construction — the CLI builds the exposition server before
+    the daemon exists."""
 
     def __init__(self, registry, tracer=None, host="127.0.0.1", port=0,
                  recorder=None):
         self.registry = registry
         self.tracer = tracer
         self.recorder = recorder
+        self.health = None
+        self.timeseries = None
         expo = self
 
         class Handler(http.server.BaseHTTPRequestHandler):
@@ -84,11 +102,28 @@ class ExpositionServer:
             ) + "\n"
             self._reply(request, 200, CONTENT_TYPE_JSON, body)
         elif path == "/healthz":
-            self._reply(request, 200, CONTENT_TYPE_TEXT, "ok\n")
+            state = "ok"
+            if self.health is not None:
+                try:
+                    state = self.health()
+                except Exception:
+                    state = "error"  # a broken probe is still a 200 body
+            self._reply(request, 200, CONTENT_TYPE_TEXT, state + "\n")
         elif path == "/spans":
             summary = self.tracer.summary() if self.tracer is not None else {}
             body = json.dumps(summary, indent=2, sort_keys=True) + "\n"
             self._reply(request, 200, CONTENT_TYPE_JSON, body)
+        elif path == "/timeseries.json":
+            if self.timeseries is None:
+                self._reply(
+                    request, 404, CONTENT_TYPE_TEXT,
+                    "no timeseries: start serve with --snapshot-interval\n",
+                )
+            else:
+                body = json.dumps(
+                    self.timeseries.to_dict(), indent=2, sort_keys=True
+                ) + "\n"
+                self._reply(request, 200, CONTENT_TYPE_JSON, body)
         else:
             self._reply(
                 request, 404, CONTENT_TYPE_TEXT,

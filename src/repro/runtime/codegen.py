@@ -28,6 +28,7 @@ import time
 
 from repro import obs
 from repro.lang import ast
+from repro.obs import profile as _profile
 from repro.lang.typecheck import BUILTIN_SIGNATURES
 from repro.core.prefetch import resolve_prefetch
 from repro.runtime.compile import (
@@ -56,8 +57,14 @@ from repro.runtime.values import (
     scalar_repr,
 )
 
-#: deopt events (function/fragment fell back to the closure tier)
+#: deopt events (function/fragment fell back to the closure tier), labelled
+#: ``side`` (open|hidden) and ``reason`` (the classified cause below)
 M_DEOPT = "repro_codegen_deopt_total"
+
+#: ``reason`` label values on :data:`M_DEOPT` (docs/OBSERVABILITY.md)
+DEOPT_REFUSED = "refused"  # the generator deliberately declined a construct
+DEOPT_COMPILE_LIMIT = "compile-limit"  # CPython's compile() limits tripped
+DEOPT_INTERNAL = "internal-error"  # generator bug: unexpected exception
 
 _INF = float("inf")
 
@@ -74,13 +81,52 @@ _op_neg = UNARY_OPS["-"]
 _op_not = UNARY_OPS["!"]
 
 
-def _count_deopt(side):
+class CodegenRefused(Exception):
+    """Raised inside the generator to *deliberately* decline lowering a
+    construct (vs. tripping a CPython compile limit or hitting a bug).
+    Carries the reason code reported on the deopt counter and event."""
+
+    def __init__(self, reason=DEOPT_REFUSED, message=""):
+        super().__init__(message or reason)
+        self.reason = reason
+
+
+#: exceptions that mean "the generated source exceeded what compile()
+#: accepts" — e.g. "too many statically nested blocks" (SyntaxError) on
+#: pathological nesting depth
+_COMPILE_LIMIT_ERRORS = (
+    SyntaxError, RecursionError, MemoryError, OverflowError, SystemError,
+)
+
+
+def _classify_deopt(exc):
+    """The ``reason`` code for one build failure."""
+    if isinstance(exc, CodegenRefused):
+        return exc.reason
+    if isinstance(exc, _COMPILE_LIMIT_ERRORS):
+        return DEOPT_COMPILE_LIMIT
+    return DEOPT_INTERNAL
+
+
+def _count_deopt(side, reason):
     registry = obs.get_registry()
     if registry.enabled:
         registry.counter(
             M_DEOPT, help="codegen deopt fallbacks to the closure tier",
-            side=side,
+            side=side, reason=reason,
         ).inc()
+
+
+def _record_deopt(side, name, exc, line=None):
+    """Attribute one fallback: reason-labelled counter bump plus a
+    flight-recorder ``deopt`` event carrying the site identity."""
+    reason = _classify_deopt(exc)
+    _count_deopt(side, reason)
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        recorder.deopt(side, name, reason,
+                       "line %d" % line if line else "")
+    return reason
 
 
 # -- guarded operators ---------------------------------------------------------
@@ -336,16 +382,19 @@ class OpenCodegen:
             started = time.perf_counter()
             try:
                 run = _FnCodegen(self, fn).build()
-            except Exception:
-                run = self._deopt(fn)
+                _profile.register_code(
+                    run.__code__, fn.qualified_name, "codegen", "open"
+                )
+            except Exception as exc:
+                run = self._deopt(fn, exc)
             self._cache[fn] = run
             _observe_compile("open", time.perf_counter() - started,
                              engine="codegen")
         return run
 
-    def _deopt(self, fn):
+    def _deopt(self, fn, exc):
         """Closure-tier fallback for one function the generator refused."""
-        _count_deopt("open")
+        _record_deopt("open", fn.qualified_name, exc, fn.line)
         if self._fallback is None:
             self._fallback = OpenCompiler(
                 self._functions, self._methods, self._classes
@@ -1684,10 +1733,21 @@ def codegen_fragment(fragment, storage_map, counting):
     object (``body`` iterable of callables taking the per-call
     ``_FragmentEvaluator``, ``result`` callable or ``None``)."""
     started = time.perf_counter()
+    name = "fragment#%s" % (getattr(fragment, "label", "?"),)
     try:
         compiled = _FragCodegen(fragment, storage_map or {}, counting).build()
-    except Exception:
-        _count_deopt("hidden")
+        for part in tuple(compiled.body) + (compiled.result,):
+            if part is not None:
+                _profile.register_code(
+                    part.__code__, name, "codegen", "hidden"
+                )
+    except Exception as exc:
+        line = None
+        if fragment.body:
+            line = fragment.body[0].line
+        elif fragment.result_expr is not None:
+            line = fragment.result_expr.line
+        _record_deopt("hidden", name, exc, line)
         compiler = _FragmentCompiler(storage_map or {})
         body = tuple(compiler.compile_stmt(s) for s in fragment.body)
         result = None

@@ -15,6 +15,7 @@ simulated runtime-overhead measurements in the Table 5 benchmark.
 from repro import obs
 from repro.lang import ast
 from repro.lang.typecheck import BUILTIN_SIGNATURES
+from repro.obs import profile as _profile
 # _Return/_Break/_Continue are shared with the compiled engine so control
 # flow crosses engine boundaries; StepLimitExceeded is re-exported here for
 # backward compatibility (it lives in values.py).
@@ -503,3 +504,26 @@ class Interpreter:
         label = self.eval_expr(expr.args[1], env)
         values = [self.eval_expr(a, env) for a in expr.args[2:]]
         return self.hidden.call(hid, label, values, OpenAccess(self, env))
+
+
+# -- profiling frame tags ------------------------------------------------------
+# The ast and closure tiers execute every MiniJava function inside the same
+# generic ``call_function`` dispatch frame, so a static code-object tag
+# cannot identify the callee; the profiler resolves it dynamically from the
+# live frame's locals instead (docs/OBSERVABILITY.md, "Profiling").  The
+# codegen tier registers its per-function code objects statically in
+# :mod:`repro.runtime.codegen`.
+
+
+def _call_function_tag(frame):
+    loc = frame.f_locals
+    fn = loc.get("fn")
+    interp = loc.get("self")
+    if fn is None or interp is None:
+        return None
+    return (fn.qualified_name, interp.engine, "open")
+
+
+_profile.register_resolver(
+    Interpreter.call_function.__code__, _call_function_tag
+)

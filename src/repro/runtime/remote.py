@@ -35,6 +35,7 @@ import threading
 import time
 
 from repro import obs
+from repro.obs.metrics import RT_PHASE_BUCKETS
 from repro.runtime.channel import Channel, LatencyModel
 from repro.runtime import DEFAULT_ENGINE
 from repro.runtime.interpreter import Interpreter
@@ -50,6 +51,8 @@ M_CLIENTS = "repro_remote_clients"
 M_SESSIONS = "repro_remote_sessions_total"
 M_SESSION_ERRORS = "repro_remote_session_errors_total"
 M_REJECTED = "repro_remote_rejected_total"
+M_OPS = "repro_remote_ops_total"
+M_EXEC_SECONDS = "repro_remote_exec_seconds"
 
 
 class ChannelError(RuntimeErr):
@@ -459,6 +462,22 @@ class _ClientSession:
                 with contextlib.suppress(OSError):
                     self.conn.shutdown(socket.SHUT_RD)
 
+    def _count_op(self, exec_s):
+        """Per-program round-trip accounting — the rate/p95 source for
+        ``/timeseries.json`` and ``repro top`` (docs/OPERATIONS.md)."""
+        metrics = self.server._metrics
+        if metrics is None or self.tenant is None:
+            return
+        program = self.tenant.name
+        metrics.counter(
+            M_OPS, help="protocol ops served, by program", program=program,
+        ).inc()
+        metrics.histogram(
+            M_EXEC_SECONDS,
+            help="server-side execution seconds per protocol op",
+            buckets=RT_PHASE_BUCKETS, program=program,
+        ).observe(exec_s)
+
     def _loop(self, rfile, wfile):
         server = self.server
         recorder = server._recorder
@@ -502,12 +521,14 @@ class _ClientSession:
                                 exec_us=round(
                                     (time.perf_counter() - t0) * 1e6, 1),
                             )
+                        self._count_op(time.perf_counter() - t0)
                         _send(wfile, {"error": str(exc)})
                         continue
                     exec_us = round((time.perf_counter() - t0) * 1e6, 1)
                     if recorder is not None:
                         recorder.record("server_send", op=op, ok=True,
                                         exec_us=exec_us)
+                    self._count_op(exec_us / 1e6)
                 if result == "bye":
                     return
                 reply = {"result": result}

@@ -19,6 +19,7 @@ import time
 
 from repro import obs
 from repro.obs.metrics import STEP_BUCKETS
+from repro.obs import profile as _profile
 from repro.lang import ast
 from repro.core.hidden import FragmentKind
 from repro.core.prefetch import resolve_prefetch, touches_open_aggregates
@@ -645,3 +646,22 @@ class _FragmentEvaluator:
         self.server.channel.round_trip(
             "cb_store", self.hid, self.fn_name, None, (name, field, value), None
         )
+
+
+# -- profiling frame tags ------------------------------------------------------
+# Every hidden fragment executes inside one ``HiddenServer.call`` dispatch
+# frame; the profiler resolves the fragment identity and engine from the
+# frame's locals (the codegen tier additionally tags its generated
+# ``__frag`` code objects statically, giving the same row name).
+
+
+def _server_call_tag(frame):
+    loc = frame.f_locals
+    server = loc.get("self")
+    label = loc.get("label")
+    if server is None or label is None:
+        return None
+    return ("fragment#%s" % (label,), server.engine, "hidden")
+
+
+_profile.register_resolver(HiddenServer.call.__code__, _server_call_tag)

@@ -1,0 +1,106 @@
+"""Guard the committed profiling results (BENCH_profile.json).
+
+The profiler only earns its keep if its attribution is near-total and the
+codegen tier really runs generated code on the shipped corpora.  Gates:
+
+* every corpus x engine cell must attribute ``>= --min-attributed`` percent
+  of its samples to tagged ``(fn/fragment, engine, side)`` frames
+  (default 95, the PR's acceptance bar),
+* every cell must hold at least ``--min-samples`` samples (default 100 —
+  an attribution percentage over a handful of samples is noise),
+* every codegen cell must report **zero** deopts (the reason-labelled
+  ``repro_codegen_deopt_total``): a shipped corpus falling back to the
+  closure tier is a codegen regression,
+* all four Table 5 corpora and all three engines must be present.
+
+Regenerate the file with::
+
+    PYTHONPATH=src python -m repro.bench profile --output BENCH_profile.json
+
+Usage::
+
+    python tools/check_profile.py [BENCH_profile.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_profile.json"
+)
+
+#: the four Table 5 corpora (repro.workloads.inputs.TABLE5_RUNS benchmarks)
+EXPECTED_CORPORA = ("javac", "jess", "jasmin", "bloat")
+EXPECTED_ENGINES = ("ast", "compiled", "codegen")
+
+
+def check(path, min_attributed=95.0, min_samples=100):
+    """Return a list of problem strings (empty means the file is healthy)."""
+    problems = []
+    try:
+        report = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+
+    corpora = report.get("corpora")
+    if not isinstance(corpora, dict) or not corpora:
+        return ["%s: no corpora recorded" % path]
+    for name in EXPECTED_CORPORA:
+        if name not in corpora:
+            problems.append("missing corpus %r" % name)
+    for name, cells in sorted(corpora.items()):
+        for engine in EXPECTED_ENGINES:
+            cell = cells.get(engine)
+            if not isinstance(cell, dict):
+                problems.append("%s: missing engine %r" % (name, engine))
+                continue
+            samples = cell.get("samples")
+            pct = cell.get("attributed_pct")
+            if not isinstance(samples, (int, float)) or \
+                    not isinstance(pct, (int, float)):
+                problems.append(
+                    "%s/%s: missing samples/attributed_pct" % (name, engine))
+                continue
+            if samples < min_samples:
+                problems.append(
+                    "%s/%s: only %d samples (< %d; raise min_duration_s)"
+                    % (name, engine, samples, min_samples))
+            if pct < min_attributed:
+                problems.append(
+                    "%s/%s: attribution %.1f%% below the %.1f%% floor"
+                    % (name, engine, pct, min_attributed))
+            deopts = (cell.get("deopts") or {}).get("total")
+            if engine == "codegen" and deopts != 0:
+                problems.append(
+                    "%s/codegen: %s deopt(s) on a shipped corpus"
+                    % (name, deopts))
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="check_profile")
+    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH))
+    parser.add_argument("--min-attributed", type=float, default=95.0)
+    parser.add_argument("--min-samples", type=int, default=100)
+    args = parser.parse_args(argv)
+
+    problems = check(args.path, args.min_attributed, args.min_samples)
+    if problems:
+        for problem in problems:
+            print("PROFILE: %s" % problem)
+        return 1
+    report = json.loads(pathlib.Path(args.path).read_text())
+    for name, cells in sorted(report["corpora"].items()):
+        for engine, cell in sorted(cells.items()):
+            print(
+                "PROFILE ok: %-8s %-8s %5d samples  %.1f%% attributed  "
+                "%d deopts"
+                % (name, engine, cell["samples"], cell["attributed_pct"],
+                   (cell.get("deopts") or {}).get("total", 0)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
