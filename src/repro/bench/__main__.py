@@ -21,7 +21,7 @@ def main(argv=None):
         "names",
         nargs="*",
         help="which experiments (table1..table5, rtattr, loadgen, profile, "
-        "fig2, fig3, attack); default all",
+        "cache, fig2, fig3, attack); default all",
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument(
@@ -31,8 +31,9 @@ def main(argv=None):
     )
     parser.add_argument(
         "--output", metavar="PATH",
-        help="write the 'profile' experiment's machine-readable document "
-        "here (BENCH_profile.json, gated by tools/check_profile.py)",
+        help="write the 'profile' or 'cache' experiment's machine-readable "
+        "document here (BENCH_profile.json / BENCH_cache.json, gated by "
+        "tools/check_profile.py / tools/check_cache.py)",
     )
     args = parser.parse_args(argv)
 
@@ -47,6 +48,8 @@ def main(argv=None):
         "loadgen": lambda: experiments.run_loadgen_experiment(
             scale=min(args.scale, 0.3)),
         "profile": lambda: experiments.run_profile_experiment(
+            scale=min(args.scale, 0.3), output=args.output),
+        "cache": lambda: experiments.run_cache_experiment(
             scale=min(args.scale, 0.3), output=args.output),
         "fig2": lambda: experiments.run_fig2_experiment(engine=args.engine),
         "fig3": lambda: experiments.run_fig3_experiment(engine=args.engine),

@@ -19,6 +19,7 @@ identical channel traffic (tests assert this).
 import json
 
 from repro.core.hidden import HiddenFragment, SplitFunction
+from repro.core.purity import PurityVerdict, classify_fragment
 from repro.lang import ast
 from repro.lang.parser import parse_expression, parse_program, parse_statements
 from repro.lang.pretty import pretty, pretty_expr, pretty_stmt
@@ -48,6 +49,13 @@ def export_split(split_program):
                     # path-based prefetch manifest (repro.core.prefetch) so
                     # a served component batches without re-analysis
                     "prefetch": frag.prefetch,
+                    # cacheability verdict (repro.core.purity) so a served
+                    # component caches without re-analysis
+                    "purity": (
+                        frag.purity
+                        if frag.purity is not None
+                        else classify_fragment(frag, split.storage_map)
+                    ).to_dict(),
                 }
             )
         functions[name] = {
@@ -119,6 +127,11 @@ def import_split(manifest):
                 # absent in manifests written before the batching layer:
                 # None makes the hidden server recompute on demand
                 prefetch=spec.get("prefetch"),
+                purity=(
+                    PurityVerdict.from_dict(spec["purity"])
+                    if spec.get("purity") is not None
+                    else None
+                ),
             )
         registry[entry["fn_id"]] = (name, fragments, dict(entry["storage_map"]))
     return DeployedSplitProgram(

@@ -39,7 +39,7 @@ class HiddenFragment:
 
     def __init__(self, label, kind, params=None, param_exprs=None, body=None,
                  result_expr=None, set_var=None, source_stmts=None,
-                 prefetch=None):
+                 prefetch=None, purity=None):
         self.label = label
         self.kind = kind
         self.params = list(params or [])
@@ -51,6 +51,9 @@ class HiddenFragment:
         self.source_stmts = list(source_stmts or [])
         #: prefetch manifest (repro.core.prefetch), or None if uncomputed
         self.prefetch = prefetch
+        #: cacheability verdict (repro.core.purity), or None if unstamped —
+        #: the hidden server classifies on demand, like ``prefetch``
+        self.purity = purity
 
     def describe(self):
         """Human-readable rendering (used by examples and reports)."""

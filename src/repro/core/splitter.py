@@ -50,6 +50,7 @@ from repro.analysis.slicing import (
 )
 from repro.core.hidden import FragmentKind, HiddenFragment, ILPSite, SplitFunction
 from repro.core.prefetch import collect_prefetch
+from repro.core.purity import classify_fragment
 
 RESERVED_NAMES = ("hopen", "hclose", "hcall")
 
@@ -562,6 +563,8 @@ class _Splitter:
         if self.storage_class is not None:
             for name in self.hidden_storage:
                 storage_map[name] = self.storage_class
+        for frag in self.fragments.values():
+            frag.purity = classify_fragment(frag, storage_map)
         return SplitFunction(
             self.fn,
             open_fn,

@@ -18,7 +18,13 @@ only in execution strategy must also agree on the fine-grained accounting:
   trace context and phase measurement must not change behaviour *or*
   accounting, so its round-trip count is checked against the untraced
   ``split-compiled`` cell with no handshake allowance at all (the trace
-  hello is deliberately uncounted, docs/PROTOCOL.md).
+  hello is deliberately uncounted, docs/PROTOCOL.md);
+* ``split-cache`` / ``split-cache-codegen`` / ``socket-cache`` — the
+  fragment result cache on (``--cache on``, docs/CACHING.md): hits must
+  be bit-identical to real executions, so the cache cells are held to
+  the engine-equivalence bar (steps *and* transcript kinds) against
+  their uncached counterparts, and the socket cell's cache hello is
+  uncounted like the trace hello.
 
 A program whose automatic selection finds nothing to split (or where an
 explicit choice raises ``SplitError``) skips the split configurations —
@@ -46,16 +52,18 @@ DEFAULT_MAX_STEPS = 2_000_000
 class Config:
     """One cell of the execution matrix."""
 
-    __slots__ = ("name", "split", "engine", "batching", "socket", "trace")
+    __slots__ = ("name", "split", "engine", "batching", "socket", "trace",
+                 "cache")
 
     def __init__(self, name, split, engine, batching=False, socket=False,
-                 trace=False):
+                 trace=False, cache=False):
         self.name = name
         self.split = split
         self.engine = engine
         self.batching = batching
         self.socket = socket
         self.trace = trace
+        self.cache = cache
 
     def __repr__(self):
         return "<Config %s>" % self.name
@@ -82,6 +90,10 @@ CONFIGS = (
     Config("socket-compiled-traced", split=True, engine="compiled",
            socket=True, trace=True),
     Config("socket-codegen", split=True, engine="codegen", socket=True),
+    Config("split-cache", split=True, engine="compiled", cache=True),
+    Config("split-cache-codegen", split=True, engine="codegen", cache=True),
+    Config("socket-cache", split=True, engine="compiled", socket=True,
+           cache=True),
 )
 
 CONFIG_NAMES = tuple(c.name for c in CONFIGS)
@@ -101,6 +113,12 @@ _TRAFFIC_PAIRS = (
     # tracing rides in frame fields and an uncounted handshake frame, so a
     # traced run's accounting is identical to the plain socket run's
     ("socket-compiled-traced", "split-compiled", 0),
+    # caching must not change traffic at all: hits replay the very round
+    # trips a real execution performs, and the socket cell's cache hello
+    # is uncounted like the trace hello (docs/CACHING.md)
+    ("split-cache", "split-compiled", 0),
+    ("split-cache-codegen", "split-codegen", 0),
+    ("socket-cache", "split-cache", 0),
 )
 
 
@@ -199,10 +217,10 @@ def _run_config(config, program, sp, address, args, max_steps):
         return _observe(lambda: run_split_remote(
             sp, address, args=args, max_steps=max_steps,
             batching=config.batching, engine=config.engine,
-            trace=config.trace))
+            trace=config.trace, cache=config.cache))
     return _observe(lambda: run_split(
         sp, args=args, latency=LatencyModel.instant(), max_steps=max_steps,
-        batching=config.batching, engine=config.engine))
+        batching=config.batching, engine=config.engine, cache=config.cache))
 
 
 def _diff_behaviour(result, config_name, base, obs_, args):
@@ -242,7 +260,11 @@ def _diff_accounting(result, present, args):
     for eng_pair in (("split-ast", "split-compiled"),
                      ("split-ast-batch", "split-compiled-batch"),
                      ("split-codegen", "split-compiled"),
-                     ("split-codegen-batch", "split-compiled-batch")):
+                     ("split-codegen-batch", "split-compiled-batch"),
+                     # cache cells: a hit must replay the exact steps and
+                     # transcript of the execution it memoized
+                     ("split-cache", "split-compiled"),
+                     ("split-cache-codegen", "split-codegen")):
         a, b = (present.get(n) for n in eng_pair)
         if a is None or b is None or a.error or b.error:
             continue
@@ -268,17 +290,29 @@ def _diff_accounting(result, present, args):
     return found
 
 
-def run_matrix(source, arg_sets, configs=None, choices=None,
+def run_matrix(source, arg_sets, configs=None, choices=None, hide=None,
                max_steps=DEFAULT_MAX_STEPS):
     """Run ``source`` through the configuration matrix and diff everything.
 
-    ``arg_sets`` is a sequence of argument tuples for ``main``.  Returns
-    a :class:`MatrixResult`; ``result.divergences`` is empty when every
+    ``arg_sets`` is a sequence of argument tuples for ``main``.  With
+    ``hide`` set to a global variable name the split is produced by
+    :func:`repro.core.globals.hide_global` instead of variable choices —
+    the only way to get hidden *storage* (and therefore cache
+    invalidation traffic) into the matrix.  Returns a
+    :class:`MatrixResult`; ``result.divergences`` is empty when every
     configuration agrees.
     """
     configs = tuple(configs) if configs else CONFIGS
     try:
-        program, _checker, sp = split_source(source, choices=choices)
+        if hide is not None:
+            from repro.core.globals import hide_global
+            from repro.lang import check_program, parse_program
+
+            program = parse_program(source)
+            checker = check_program(program)
+            sp = hide_global(program, checker, hide)
+        else:
+            program, _checker, sp = split_source(source, choices=choices)
     except SplitError:
         # an explicit choice the splitter (documentedly) rejects: compare
         # only the unsplit configurations

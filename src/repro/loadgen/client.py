@@ -56,7 +56,8 @@ class SyntheticClient:
     """
 
     def __init__(self, address, script, program=None, iterations=1,
-                 think_scale=0.0, rng=None, timeout_s=10.0, barrier=None):
+                 think_scale=0.0, rng=None, timeout_s=10.0, barrier=None,
+                 cache=False):
         self.address = address
         self.script = script
         self.program = program
@@ -65,6 +66,7 @@ class SyntheticClient:
         self.rng = rng
         self.timeout_s = timeout_s
         self.barrier = barrier
+        self.cache = cache
 
     def run(self):
         result = ClientResult()
@@ -133,6 +135,15 @@ class SyntheticClient:
                             "program selection failed: %s" % reply["error"])
                     picked = reply.get("result")
                     facts = picked if isinstance(picked, dict) else {}
+                if self.cache:
+                    # same negotiation a real client performs; a daemon
+                    # serving --cache off answers without enabling and the
+                    # replay proceeds uncached (docs/CACHING.md)
+                    _send(wfile, {"op": "hello", "cache": True})
+                    reply = _recv(rfile)
+                    if "error" in reply:
+                        raise ChannelProtocolError(
+                            "cache negotiation failed: %s" % reply["error"])
                 return sock, rfile, wfile, facts
             except (ChannelError, OSError) as exc:
                 last = exc

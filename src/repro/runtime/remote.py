@@ -36,6 +36,7 @@ import time
 
 from repro import obs
 from repro.obs.metrics import RT_PHASE_BUCKETS
+from repro.runtime.cache import CacheQuota, FragmentCache
 from repro.runtime.channel import Channel, LatencyModel
 from repro.runtime import DEFAULT_ENGINE
 from repro.runtime.interpreter import Interpreter
@@ -224,13 +225,20 @@ class HiddenComponentServer:
       frames coalescing more than this many messages;
     - ``drain_grace_s``: how long :meth:`serve_forever` waits for in-flight
       requests to finish after :meth:`drain`.
+
+    ``cache`` is the daemon's fragment-cache *policy* (docs/CACHING.md):
+    with it on (default), a client's ``hello`` with ``cache: true`` gets a
+    session-private :class:`~repro.runtime.cache.FragmentCache`; with it
+    off every request is refused (answered but not enabled), so operators
+    can rule caching out fleet-wide.  ``cache_quota`` bounds the *total*
+    cached entries per tenant across all its sessions.
     """
 
     def __init__(self, registry=None, hidden_globals=None,
                  hidden_field_classes=None, host="127.0.0.1", port=0,
                  engine=DEFAULT_ENGINE, tenants=None, default_name="default",
                  max_sessions=None, idle_timeout_s=None, max_batch_msgs=1024,
-                 drain_grace_s=10.0):
+                 drain_grace_s=10.0, cache=True, cache_quota=None):
         self._tenants = {}
         if registry is not None:
             self.add_tenant(Tenant(
@@ -251,6 +259,12 @@ class HiddenComponentServer:
         self.idle_timeout_s = idle_timeout_s
         self.max_batch_msgs = max_batch_msgs
         self.drain_grace_s = drain_grace_s
+        self.cache_enabled = bool(cache)
+        self._cache_quota_entries = cache_quota
+        self._cache_quotas = {}  # program -> CacheQuota, created lazily
+        self._cache_lock = threading.Lock()
+        #: program -> aggregated cache counters of *finished* sessions
+        self.cache_stats = {}
         self._sock = socket.create_server((host, port))
         self.address = self._sock.getsockname()
         self._stop = threading.Event()
@@ -297,6 +311,29 @@ class HiddenComponentServer:
         return self._pin_recorder(tenant.new_server(
             Channel(LatencyModel.instant(), record=False), engine=self.engine,
         ))
+
+    def _cache_quota(self, program):
+        """The tenant's shared entry quota, or None when unbounded."""
+        if self._cache_quota_entries is None:
+            return None
+        with self._cache_lock:
+            quota = self._cache_quotas.get(program)
+            if quota is None:
+                quota = CacheQuota(self._cache_quota_entries)
+                self._cache_quotas[program] = quota
+            return quota
+
+    def _fold_cache_stats(self, program, cache):
+        """Accumulate a finished session's cache counters per tenant (the
+        ``repro.bench`` cache experiment reads these)."""
+        stats = cache.stats()
+        with self._cache_lock:
+            agg = self.cache_stats.setdefault(
+                program,
+                {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0},
+            )
+            for key in agg:
+                agg[key] += stats[key]
 
     def _now_us(self):
         """Microseconds on this server's event timebase — the recorder's
@@ -418,6 +455,7 @@ class _ClientSession:
         self.tenant = None
         self.inner = None
         self.batching = False
+        self.cache = False
         self._used = False
         self._in_flight = False
         self._lock = threading.Lock()
@@ -444,6 +482,9 @@ class _ClientSession:
             # every other session keep going
             server._count_session_error("disconnect")
         finally:
+            if self.inner is not None and self.inner.cache is not None:
+                server._fold_cache_stats(self.tenant.name, self.inner.cache)
+                self.inner.cache.release_all()
             if self.tenant is not None and server._metrics is not None:
                 server._metrics.gauge(
                     M_CLIENTS, help="currently connected client sessions",
@@ -550,6 +591,7 @@ class _ClientSession:
         self.tenant = tenant
         self.inner = self.server._new_inner(tenant)
         self.inner.batching = self.batching
+        self._apply_cache()
         metrics = self.server._metrics
         if metrics is not None:
             # live scrape support (--expo-port): how many client sessions
@@ -562,6 +604,22 @@ class _ClientSession:
                 M_SESSIONS, help="client sessions accepted since start",
                 program=tenant.name,
             ).inc()
+
+    def _apply_cache(self):
+        """Create (or drop) the inner server's session cache to match the
+        negotiated flag; entries charge against the tenant's shared quota
+        (docs/CACHING.md)."""
+        if self.inner is None:
+            return
+        if self.cache and self.inner.cache is None:
+            self.inner.cache = FragmentCache(
+                program=self.tenant.name,
+                quota=self.server._cache_quota(self.tenant.name),
+            )
+        elif not self.cache and self.inner.cache is not None:
+            self.server._fold_cache_stats(self.tenant.name, self.inner.cache)
+            self.inner.cache.release_all()
+            self.inner.cache = None
 
     def _ensure_bound(self):
         if self.inner is None:
@@ -628,6 +686,13 @@ class _ClientSession:
                 self.batching = bool(msg["batching"])
                 if self.inner is not None:
                     self.inner.batching = self.batching
+            if "cache" in msg:
+                # fragment-cache negotiation (docs/CACHING.md): honoured
+                # only when the daemon's --cache policy allows it; the
+                # reply tells the client which way it went
+                self.cache = bool(msg["cache"]) and self.server.cache_enabled
+                self._apply_cache()
+                return {"cache": self.cache}
             if isinstance(msg.get("trace"), dict):
                 # trace handshake: exchange recorder epochs so the two
                 # event streams can be clock-aligned (docs/PROTOCOL.md)
@@ -695,6 +760,12 @@ class RemoteHiddenRuntime:
     are bit-identical to the seed on the wire and in every account
     (docs/PROTOCOL.md, "Trace context").
 
+    With ``cache=True`` the client asks the server to memoize cacheable
+    fragment executions for this session (docs/CACHING.md) over an
+    uncounted ``hello`` — wire traffic past the negotiation, channel
+    accounting, and results are bit-identical to an uncached session;
+    only the server does less work.
+
     With ``program=NAME`` the client selects that program on a
     multi-tenant daemon (protocol revision 3) right after the handshake;
     a server that predates named programs rejects the selection cleanly
@@ -704,10 +775,14 @@ class RemoteHiddenRuntime:
     """
 
     def __init__(self, address, channel=None, batching=False, policy=None,
-                 trace=False, trace_id=None, program=None):
+                 trace=False, trace_id=None, program=None, cache=False):
         self.channel = channel or Channel(LatencyModel.instant(), record=True)
         self.batching = batching
         self.program = program
+        self.cache = bool(cache)
+        #: what the server actually granted (False against an old server
+        #: or a daemon serving --cache off)
+        self.cache_enabled = False
         self.policy = policy or ConnectionPolicy()
         self.trace = bool(trace)
         # the id is fixed before connecting, so it survives the connection
@@ -722,6 +797,8 @@ class RemoteHiddenRuntime:
         self._connect(address)
         if self.trace:
             self._trace_handshake()
+        if self.cache:
+            self._cache_handshake()
         if batching:
             self._request({"op": "hello", "batching": True}, access=None,
                           kind="open", sent=())
@@ -905,6 +982,25 @@ class RemoteHiddenRuntime:
             recorder.record("trace_sync", trace_id=self.trace_id,
                             **self.clock_sync)
 
+    def _cache_handshake(self):
+        """Ask the server to enable its session fragment cache
+        (docs/CACHING.md).  Like the trace handshake, deliberately *not*
+        routed through the channel: a cached run must keep a transcript
+        bit-identical to an uncached one, so the negotiation frame is
+        uncounted.  An old server — or a daemon serving ``--cache off`` —
+        answers without enabling; the run proceeds uncached, still
+        correct."""
+        _send(self._wfile, self._stamp({"op": "hello", "cache": True}))
+        reply = _recv(self._rfile)
+        if "error" in reply:
+            raise ChannelProtocolError(
+                "cache negotiation failed: %s" % reply["error"]
+            )
+        result = reply.get("result")
+        self.cache_enabled = (
+            bool(result.get("cache")) if isinstance(result, dict) else False
+        )
+
     def _defer(self, payload, kind, hid, sent, label=None):
         self._outbox.append(payload)
         self.channel.defer(kind, hid, "-", label, sent)
@@ -1053,7 +1149,8 @@ def remote_server(split_program=None, tenants=None, **server_kwargs):
 
 def run_split_remote(split_program, address, entry="main", args=(),
                      max_steps=20_000_000, batching=False, policy=None,
-                     engine=DEFAULT_ENGINE, trace=False, program=None):
+                     engine=DEFAULT_ENGINE, trace=False, program=None,
+                     cache=False):
     """Run the open component locally against a hidden component served at
     ``address``; returns a :class:`RunResult` whose channel counted the
     real network round trips.
@@ -1062,10 +1159,11 @@ def run_split_remote(split_program, address, entry="main", args=(),
     context and per-phase latency measurements (docs/OBSERVABILITY.md);
     the result grows a ``trace_sync`` attribute with the clock-alignment
     handshake outcome.  ``program`` selects a named program on a
-    multi-tenant daemon (docs/OPERATIONS.md).  Accounting stays
-    bit-identical either way."""
+    multi-tenant daemon (docs/OPERATIONS.md); ``cache=True`` requests the
+    server-side fragment result cache (docs/CACHING.md).  Accounting
+    stays bit-identical either way."""
     runtime = RemoteHiddenRuntime(address, batching=batching, policy=policy,
-                                  trace=trace, program=program)
+                                  trace=trace, program=program, cache=cache)
     try:
         interp = Interpreter(
             split_program.program, hidden_runtime=runtime, max_steps=max_steps,

@@ -23,6 +23,8 @@ from repro.obs import profile as _profile
 from repro.lang import ast
 from repro.core.hidden import FragmentKind
 from repro.core.prefetch import resolve_prefetch, touches_open_aggregates
+from repro.core.purity import classify_fragment
+from repro.runtime.cache import CacheEntry, FragmentCache, tag_value
 from repro.runtime.channel import Channel, LatencyModel
 # control flow is shared with the compiled engine (repro.runtime.compile)
 from repro.runtime.compile import (
@@ -112,9 +114,13 @@ class Tenant:
         )
 
     def new_server(self, channel=None, engine=DEFAULT_ENGINE,
-                   max_steps=20_000_000):
+                   max_steps=20_000_000, cache=False, cache_quota=None):
         """A fresh :class:`HiddenServer` over this tenant's tables, with
-        private copies of the initial hidden state."""
+        private copies of the initial hidden state.
+
+        ``cache`` enables the fragment result cache for this session;
+        ``cache_quota`` (a :class:`~repro.runtime.cache.CacheQuota`)
+        charges its entries against the tenant's shared budget."""
         return HiddenServer(
             self.registry,
             channel or Channel(LatencyModel.instant(), record=False),
@@ -122,6 +128,11 @@ class Tenant:
             hidden_globals=dict(self.hidden_globals),
             hidden_field_classes=dict(self.hidden_field_classes),
             engine=engine,
+            cache=(
+                FragmentCache(quota=cache_quota, program=self.name)
+                if cache
+                else False
+            ),
         )
 
 
@@ -143,7 +154,8 @@ class HiddenServer:
 
     def __init__(self, registry, channel, max_steps=20_000_000,
                  hidden_globals=None, hidden_field_classes=None,
-                 batching=False, engine=DEFAULT_ENGINE):
+                 batching=False, engine=DEFAULT_ENGINE, cache=False,
+                 program="default"):
         """``registry``: fn_id -> (name, {label: HiddenFragment}, storage_map).
 
         ``hidden_globals`` maps hidden global names to their initial values
@@ -167,6 +179,14 @@ class HiddenServer:
         ``"codegen"`` emits real Python source per fragment via
         :func:`repro.runtime.codegen.codegen_fragment`; ``"ast"`` walks
         the tree.  All three are observably bit-identical.
+
+        ``cache`` enables the Hf-side fragment result cache
+        (:mod:`repro.runtime.cache`, docs/CACHING.md): fragments the
+        purity pass proves cacheable have their executions memoized,
+        bit-identically to uncached execution.  Pass ``True`` for a
+        default per-server cache, or a ready :class:`~repro.runtime.
+        cache.FragmentCache` (the daemon does this to attach per-tenant
+        quotas).  ``program`` labels that default cache's metrics.
         """
         self.registry = registry
         self.channel = channel
@@ -181,6 +201,13 @@ class HiddenServer:
         self._deferrable = {}  # id(fragment) -> bool
         self._prefetch_cache = {}  # id(fragment) -> (stmt_map, result_reads)
         self.engine = validate_engine(engine)
+        if isinstance(cache, FragmentCache):
+            self.cache = cache
+        elif cache:
+            self.cache = FragmentCache(program=program)
+        else:
+            self.cache = None
+        self._purity = {}  # id(fragment) -> PurityVerdict
         # id(fragment) -> CompiledFragment; None when running the AST engine
         self._compiled = {} if self.engine in ("compiled", "codegen") else None
         count_engine("hidden", self.engine)
@@ -230,6 +257,9 @@ class HiddenServer:
         if fields is None:
             return
         self.instances[obj.oid] = dict(fields)
+        if self.cache is not None:
+            # new hidden field storage came into existence: a store write
+            self.cache.invalidate(fn=obj.class_name)
         if self.batching:
             # the open side never reads the echoed oid; any call that could
             # touch the new instance flushes the batch first
@@ -262,6 +292,53 @@ class HiddenServer:
             cached = resolve_prefetch(fragment)
             self._prefetch_cache[key] = cached
         return cached
+
+    # -- result caching ----------------------------------------------------------
+
+    def _fragment_purity(self, fragment, storage_map):
+        """The fragment's stamped verdict, or an on-demand classification
+        (hand-built registries, pre-purity manifests) — cached by id like
+        the prefetch/deferrable tables."""
+        key = id(fragment)
+        verdict = self._purity.get(key)
+        if verdict is None:
+            verdict = fragment.purity
+            if verdict is None:
+                verdict = classify_fragment(fragment, storage_map)
+            self._purity[key] = verdict
+        return verdict
+
+    def _cache_key(self, activation, label, values, verdict):
+        """The content key for one cacheable call, or ``None`` when any
+        input is a non-scalar (unkeyable: execute for real).
+
+        Components (docs/CACHING.md): fragment identity, type-tagged sent
+        values, type-tagged snapshot of the ``env_reads`` names, and — only
+        for fragments reading hidden globals/fields — the invalidation
+        epoch plus (for field readers) the receiver's instance id."""
+        tagged = []
+        for value in values:
+            t = tag_value(value)
+            if t is None:
+                return None
+            tagged.append(t)
+        env = activation.env
+        env_key = []
+        for name in verdict.env_reads:
+            # default 0 mirrors _read_name's read-before-write rule
+            t = tag_value(env.get(name, 0))
+            if t is None:
+                return None
+            env_key.append((name, t))
+        epoch = (
+            self.cache.epoch
+            if verdict.reads_globals or verdict.reads_fields
+            else None
+        )
+        oid = activation.receiver_oid if verdict.reads_fields else None
+        return (
+            activation.fn_id, label, tuple(tagged), tuple(env_key), epoch, oid
+        )
 
     def _compiled_fragment(self, fragment, storage_map):
         key = id(fragment)
@@ -300,6 +377,72 @@ class HiddenServer:
         stmt_counts = {} if registry is not None else None
         steps_before = self.steps
         wall_t0 = time.perf_counter() if self._recorder is not None else 0.0
+        cache = self.cache
+        verdict = None
+        cache_key = None
+        entry = None
+        if cache is not None:
+            # classified for *every* fragment: uncacheable fragments that
+            # write the hidden store must still invalidate (below)
+            verdict = self._fragment_purity(fragment, storage_map)
+            if verdict.cacheable:
+                cache_key = self._cache_key(activation, label, values, verdict)
+                if cache_key is not None:
+                    entry = cache.lookup(
+                        cache_key, fn=fn_name, label=label,
+                        max_steps_left=(
+                            None
+                            if self.max_steps is None
+                            else self.max_steps - self.steps
+                        ),
+                    )
+        if entry is not None:
+            # transparent replay: the recorded step count, statement mix,
+            # activation-env writes, and result of the filling execution —
+            # then exactly the accounting a real execution performs
+            self.steps += entry.steps
+            if entry.env_writes:
+                env.update(entry.env_writes)
+            if stmt_counts is not None and entry.stmt_counts:
+                for kind, count in entry.stmt_counts.items():
+                    stmt_counts[kind] = stmt_counts.get(kind, 0) + count
+            result = entry.result
+            if registry is not None:
+                self._flush_call_metrics(
+                    fn_name, label, stmt_counts, self.steps - steps_before
+                )
+            if self._recorder is not None:
+                self._recorder.fragment(
+                    fn_name, str(label), self.steps - steps_before,
+                    wall_us=round((time.perf_counter() - wall_t0) * 1e6, 1),
+                )
+        else:
+            result = self._execute(
+                activation, fragment, label, values, access, env,
+                storage_map, fn_name, registry, stmt_counts, steps_before,
+                wall_t0, cache, verdict, cache_key,
+            )
+        if self.batching and self._is_deferrable(fragment):
+            self.channel.defer("call", hid, fn_name, label, values)
+        else:
+            self.channel.round_trip("call", hid, fn_name, label, values, result)
+        return result
+
+    def _execute(self, activation, fragment, label, values, access, env,
+                 storage_map, fn_name, registry, stmt_counts, steps_before,
+                 wall_t0, cache, verdict, cache_key):
+        """Really execute ``fragment`` (a cache miss, an unkeyable call, or
+        caching disabled), filling the cache when the call was keyable."""
+        hid = activation.hid
+        exec_env = env
+        if cache_key is not None:
+            # a filling execution runs against a write-tracking copy: the
+            # stored entry must replay exactly the names the execution
+            # *wrote*.  A value diff against the pre-call env is unsound —
+            # it drops a write whose value happens to equal the name's
+            # previous one, and a later hit in an activation where that
+            # name differs then fails to re-apply the write.
+            exec_env = _WriteTrackingEnv(env)
         stmt_prefetch, result_reads = None, ()
         if (
             self.batching
@@ -308,7 +451,7 @@ class HiddenServer:
         ):
             stmt_prefetch, result_reads = self._fragment_prefetch(fragment)
         evaluator = _FragmentEvaluator(
-            self, env, access, hid, fn_name, storage_map,
+            self, exec_env, access, hid, fn_name, storage_map,
             activation.receiver_oid, stmt_counts=stmt_counts,
             prefetch_map=stmt_prefetch,
         )
@@ -325,9 +468,12 @@ class HiddenServer:
                 for stmt in fragment.body:
                     evaluator.exec_stmt(stmt)
             if fragment.result_expr is not None:
-                if result_reads:
-                    evaluator.prefetch_reads(result_reads)
                 try:
+                    # inside the clearing scope: a prefetch aborting after
+                    # partially populating the batch cache must not leak
+                    # entries into later statements (see prefetch_reads)
+                    if result_reads:
+                        evaluator.prefetch_reads(result_reads)
                     if compiled is not None:
                         result = compiled.result(evaluator)
                     else:
@@ -351,10 +497,33 @@ class HiddenServer:
                     fn_name, str(label), self.steps - steps_before,
                     wall_us=round((time.perf_counter() - wall_t0) * 1e6, 1),
                 )
-        if self.batching and self._is_deferrable(fragment):
-            self.channel.defer("call", hid, fn_name, label, values)
-        else:
-            self.channel.round_trip("call", hid, fn_name, label, values, result)
+            # an aborted writer may have mutated the store already, so
+            # the epoch bump sits with the other must-run accounting
+            if (
+                cache is not None
+                and verdict is not None
+                and verdict.writes_hidden_store
+            ):
+                cache.invalidate(fn=fn_name, label=label)
+            if cache_key is not None:
+                # fold the tracked writes back into the real activation
+                # env — also on an abort, which mutates the env exactly
+                # like an uncached aborted execution would
+                for name in exec_env.written:
+                    env[name] = exec_env[name]
+        if cache_key is not None:
+            cache.store(
+                cache_key,
+                CacheEntry(
+                    result,
+                    self.steps - steps_before,
+                    stmt_counts=dict(stmt_counts) if stmt_counts else None,
+                    env_writes={
+                        name: exec_env[name] for name in exec_env.written
+                    },
+                ),
+                fn=fn_name, label=label,
+            )
         return result
 
     def _flush_call_metrics(self, fn_name, label, stmt_counts, steps):
@@ -384,6 +553,25 @@ class HiddenServer:
         self.steps += 1
         if self.max_steps is not None and self.steps > self.max_steps:
             raise RuntimeErr("hidden server exceeded %d steps" % self.max_steps)
+
+
+class _WriteTrackingEnv(dict):
+    """Activation-env copy that remembers which names were assigned.
+
+    Used only while *filling* the cache: every engine writes activation
+    names with ``env[name] = value``, so the ``written`` set is exactly
+    the replayable write set of the execution (see ``_execute``).
+    """
+
+    __slots__ = ("written",)
+
+    def __init__(self, base):
+        dict.__init__(self, base)
+        self.written = set()
+
+    def __setitem__(self, name, value):
+        self.written.add(name)
+        dict.__setitem__(self, name, value)
 
 
 class _FragmentEvaluator:
@@ -601,22 +789,38 @@ class _FragmentEvaluator:
         values are cached per read *node*; :meth:`eval_expr` consumes the
         cache instead of issuing individual callbacks.
         """
-        items = []
-        for node in reads:
-            if isinstance(node, ast.Index):
-                items.append(("index", node.base.name, self.eval_expr(node.index)))
-            else:
-                items.append(("field", node.obj.name, node.name))
-        values = self.access.fetch_batch(items)
-        sent = []
-        for _kind, name, key in items:
-            sent.append(name)
-            sent.append(key)
-        self.server.channel.round_trip(
-            "cb_batch", self.hid, self.fn_name, None, tuple(sent), None
-        )
-        for node, value in zip(reads, values):
-            self._batch_cache[id(node)] = value
+        try:
+            items = []
+            for node in reads:
+                if isinstance(node, ast.Index):
+                    items.append(
+                        ("index", node.base.name, self.eval_expr(node.index))
+                    )
+                else:
+                    items.append(("field", node.obj.name, node.name))
+            values = self.access.fetch_batch(items)
+            if len(values) != len(items):
+                # a short (or long) reply must not partially populate the
+                # cache: later reads would silently fall back to unbatched
+                # callbacks, changing the observable traffic
+                raise RuntimeErr(
+                    "hidden fragment of %s: fetch_batch returned %d values "
+                    "for %d reads" % (self.fn_name, len(values), len(items))
+                )
+            sent = []
+            for _kind, name, key in items:
+                sent.append(name)
+                sent.append(key)
+            self.server.channel.round_trip(
+                "cb_batch", self.hid, self.fn_name, None, tuple(sent), None
+            )
+            for node, value in zip(reads, values):
+                self._batch_cache[id(node)] = value
+        except BaseException:
+            # an abort mid-prefetch (bad reply, failed callback, step
+            # limit) leaves no stale entries for later statements
+            self.clear_batch_cache()
+            raise
 
     def clear_batch_cache(self):
         self._batch_cache.clear()
@@ -665,3 +869,5 @@ def _server_call_tag(frame):
 
 
 _profile.register_resolver(HiddenServer.call.__code__, _server_call_tag)
+# fragment execution itself happens one frame down, in _execute
+_profile.register_resolver(HiddenServer._execute.__code__, _server_call_tag)

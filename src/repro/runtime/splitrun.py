@@ -77,13 +77,18 @@ def run_original(program, entry="main", args=(), max_steps=20_000_000,
 
 
 def run_split(split_program, entry="main", args=(), latency=None, record=True,
-              max_steps=20_000_000, batching=False, engine=DEFAULT_ENGINE):
+              max_steps=20_000_000, batching=False, engine=DEFAULT_ENGINE,
+              cache=False):
     """Execute a split program: open components in the interpreter, hidden
     fragments on a :class:`HiddenServer`, through an accounting channel.
 
     ``batching=True`` turns on the communication optimisation layer (send
     coalescing + callback batching, docs/PROTOCOL.md); results and output
     are unchanged, only the channel traffic shape differs.
+
+    ``cache=True`` turns on the hidden server's fragment result cache
+    (docs/CACHING.md); results, output, steps, and channel traffic are
+    all bit-identical to an uncached run.
 
     ``engine`` selects the execution strategy on *both* sides
     (docs/ENGINE.md); the engines are observably bit-identical."""
@@ -97,6 +102,7 @@ def run_split(split_program, entry="main", args=(), latency=None, record=True,
             hidden_field_classes=getattr(split_program, "hidden_field_classes", None),
             batching=batching,
             engine=engine,
+            cache=cache,
         )
         interp = Interpreter(split_program.program, hidden_runtime=server,
                              max_steps=max_steps, engine=engine)

@@ -2,12 +2,12 @@
 
 Every example program and every Table 5 workload runs under all registered
 engines (``repro.runtime.ENGINES``: ast, compiled, codegen) — original and
-split, batching on and off — and must agree on outputs, return values, step
-counts, per-statement-kind metric counts, and the full channel transcript.
-Error paths (step limit, runtime errors) must agree on message text and on
-the partial metrics flushed while aborting.  The codegen engine must
-additionally achieve this without deopting to the closure tier on any of
-these programs.
+split, batching on and off, fragment result cache on and off — and must
+agree on outputs, return values, step counts, per-statement-kind metric
+counts, and the full channel transcript.  Error paths (step limit, runtime
+errors) must agree on message text and on the partial metrics flushed
+while aborting.  The codegen engine must additionally achieve this without
+deopting to the closure tier on any of these programs.
 """
 
 import pathlib
@@ -66,11 +66,11 @@ def _observed_original(program, args, engine):
     }
 
 
-def _observed_split(sp, args, engine, batching):
+def _observed_split(sp, args, engine, batching, cache=False):
     with obs.telemetry() as (registry, _tracer):
         result = run_split(
             sp, args=args, latency=LatencyModel.instant(),
-            batching=batching, engine=engine,
+            batching=batching, engine=engine, cache=cache,
         )
         if engine == "codegen":
             assert _deopts(registry) == 0, "codegen deopted"
@@ -98,12 +98,20 @@ def _assert_engines_agree_original(program, args):
 
 def _assert_engines_agree_split(sp, args):
     for batching in (False, True):
-        observed = {e: _observed_split(sp, args, e, batching) for e in ENGINES}
-        for engine in ENGINES:
-            assert observed["ast"] == observed[engine], (
-                "engine %r diverged from ast (batching=%r)" % (engine, batching)
+        observed = {
+            (e, cache): _observed_split(sp, args, e, batching, cache)
+            for e in ENGINES
+            for cache in (False, True)
+        }
+        # every engine, cached or not, against the plain AST run: a cache
+        # hit must replay the exact steps, metrics, and transcript of the
+        # execution it memoized (docs/CACHING.md)
+        for key in observed:
+            assert observed[("ast", False)] == observed[key], (
+                "engine/cache %r diverged from ast (batching=%r)"
+                % (key, batching)
             )
-        assert observed["ast"]["events"]
+        assert observed[("ast", False)]["events"]
 
 
 # -- example programs ---------------------------------------------------------

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Guard the committed fragment-cache results (BENCH_cache.json).
+
+The Hf-side result cache (docs/CACHING.md) shipped with an acceptance
+bar this check enforces against the committed numbers:
+
+* **Transparent** — the equivalence sweep (every Table 5 corpus x every
+  engine, cache on vs off) recorded 0 divergences: value, output, step
+  counts, and the full channel transcript were bit-identical;
+* **Worth having** — the repeat-heavy replay (iterating clients over one
+  warm session cache each) hit at least ``--min-hit-rate`` (default 50%)
+  on every tenant, and the cache reduced server fragment executions on
+  at least ``--min-improved`` of the four corpora (default 3);
+* **The wire held** — zero client errors in both the cached and the
+  uncached replay.
+
+Regenerate the file with::
+
+    PYTHONPATH=src python -m repro.bench cache --output BENCH_cache.json
+
+Usage::
+
+    python tools/check_cache.py [BENCH_cache.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+TENANTS = ("javac", "jess", "jasmin", "bloat")
+
+
+def check(path, min_hit_rate=0.5, min_improved=3):
+    """Return a list of problem strings (empty means the file is healthy)."""
+    problems = []
+    try:
+        report = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+
+    divergences = report.get("divergences")
+    if divergences != 0:
+        problems.append(
+            "equivalence sweep divergences is %r, expected 0 (the cache "
+            "must be observably transparent)" % divergences)
+    equivalence = report.get("equivalence", {})
+    for name in TENANTS:
+        cells = equivalence.get(name)
+        if not cells:
+            problems.append("no equivalence cells for %s" % name)
+            continue
+        for engine, cell in sorted(cells.items()):
+            if not cell.get("identical"):
+                problems.append(
+                    "%s/%s: cache-on run was not bit-identical"
+                    % (name, engine))
+
+    tenants = report.get("tenants", {})
+    improved = 0
+    for name in TENANTS:
+        tenant = tenants.get(name)
+        if tenant is None:
+            problems.append("no replay report for %s" % name)
+            continue
+        hit_rate = tenant.get("hit_rate", 0.0)
+        if hit_rate < min_hit_rate:
+            problems.append(
+                "%s hit rate %.0f%% is under the %.0f%% repeat-heavy bar"
+                % (name, 100 * hit_rate, 100 * min_hit_rate))
+        execs = tenant.get("fragment_executions", {})
+        if execs.get("on", 0) < execs.get("off", 0):
+            improved += 1
+        errors = tenant.get("errors", {})
+        bad = {k: v for k, v in errors.items() if v}
+        if bad:
+            problems.append("%s replay saw errors: %s" % (name, bad))
+    if improved < min_improved:
+        problems.append(
+            "cache reduced fragment executions on only %d of %d corpora "
+            "(bar: %d)" % (improved, len(TENANTS), min_improved))
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="check_cache")
+    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH))
+    parser.add_argument("--min-hit-rate", type=float, default=0.5)
+    parser.add_argument("--min-improved", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    problems = check(args.path, min_hit_rate=args.min_hit_rate,
+                     min_improved=args.min_improved)
+    if problems:
+        for problem in problems:
+            print("FAIL: %s" % problem)
+        return 1
+    report = json.loads(pathlib.Path(args.path).read_text())
+    rates = ", ".join(
+        "%s %.0f%%" % (n, 100 * report["tenants"][n]["hit_rate"])
+        for n in TENANTS)
+    print("ok: 0 divergences across %d engines; hit rates %s"
+          % (len(report.get("engines", ())), rates))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
